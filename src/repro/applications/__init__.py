@@ -1,0 +1,17 @@
+"""Application layer: the use cases sketched in Section 4 of the paper."""
+
+from repro.applications.purchasing import PurchaseRecommendation, PurchasingAdvisor
+from repro.applications.scheduling import Assignment, GreedyScheduler, Job, Node, Schedule
+from repro.applications.dse import DesignSpaceStudy, DSEOutcome
+
+__all__ = [
+    "Assignment",
+    "DSEOutcome",
+    "DesignSpaceStudy",
+    "GreedyScheduler",
+    "Job",
+    "Node",
+    "PurchaseRecommendation",
+    "PurchasingAdvisor",
+    "Schedule",
+]

@@ -1,0 +1,69 @@
+"""Naive baselines: what purchasers do today.
+
+Section 4 of the paper notes that purchasing decisions "are typically driven
+by average performance figures across the entire benchmark suite, or ... by
+presumed similarities across applications from the same application
+domain".  These two heuristics are implemented here as rock-bottom baselines
+for the evaluation and the examples: they need no model at all, only the
+published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.spec_dataset import SpecDataset
+from repro.data.splits import MachineSplit
+
+__all__ = ["SuiteMeanBaseline", "DomainMeanBaseline"]
+
+
+class SuiteMeanBaseline:
+    """Rank machines by their mean score across the whole benchmark suite.
+
+    This is the "buy the machine with the best SPECint/SPECfp average"
+    strategy; it ignores the application of interest entirely.
+    """
+
+    def predict_application_scores(
+        self,
+        dataset: SpecDataset,
+        split: MachineSplit,
+        application: str,
+        training_benchmarks: Sequence[str],
+    ) -> np.ndarray:
+        """Return the suite-mean score of every target machine."""
+        training = [name for name in training_benchmarks if name != application]
+        matrix = dataset.matrix.select_benchmarks(training).select_machines(split.target_ids)
+        return matrix.scores.mean(axis=0)
+
+
+class DomainMeanBaseline:
+    """Rank machines by their mean score over same-domain benchmarks.
+
+    Uses only the integer or only the floating-point sub-suite, depending on
+    the domain of the application of interest — the "presumed similarity
+    across applications from the same application domain" heuristic.
+    """
+
+    def predict_application_scores(
+        self,
+        dataset: SpecDataset,
+        split: MachineSplit,
+        application: str,
+        training_benchmarks: Sequence[str],
+    ) -> np.ndarray:
+        """Return the domain-mean score of every target machine."""
+        domain = dataset.benchmark(application).domain
+        training = [
+            name
+            for name in training_benchmarks
+            if name != application and dataset.benchmark(name).domain == domain
+        ]
+        if not training:
+            # No same-domain benchmarks available: fall back to the full suite.
+            training = [name for name in training_benchmarks if name != application]
+        matrix = dataset.matrix.select_benchmarks(training).select_machines(split.target_ids)
+        return matrix.scores.mean(axis=0)

@@ -1,0 +1,50 @@
+"""Single-proxy baseline: the most similar benchmark stands in for the application.
+
+A simplified, GA-free version of the workload-similarity idea: pick the one
+training benchmark whose microarchitecture-independent characteristics are
+closest to the application of interest and use its published scores on the
+target machines verbatim.  It isolates the value of (a) using several
+neighbours and (b) learning characteristic weights, both of which GA-kNN
+adds on top of this.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.spec_dataset import SpecDataset
+from repro.data.splits import MachineSplit
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["MostSimilarBenchmarkBaseline"]
+
+
+class MostSimilarBenchmarkBaseline:
+    """Use the closest benchmark (in characteristic space) as a proxy."""
+
+    def __init__(self) -> None:
+        self.chosen_proxy_: str | None = None
+
+    def predict_application_scores(
+        self,
+        dataset: SpecDataset,
+        split: MachineSplit,
+        application: str,
+        training_benchmarks: Sequence[str],
+    ) -> np.ndarray:
+        """Return the proxy benchmark's scores on the target machines."""
+        training = [name for name in training_benchmarks if name != application]
+        if not training:
+            raise ValueError("the proxy baseline needs at least one training benchmark")
+        all_names = training + [application]
+        features = StandardScaler().fit_transform(dataset.benchmark_feature_matrix(all_names))
+        query = features[-1]
+        candidates = features[:-1]
+        distances = np.sqrt(((candidates - query) ** 2).sum(axis=1))
+        proxy = training[int(np.argmin(distances))]
+        self.chosen_proxy_ = proxy
+        row = dataset.matrix.benchmark_scores(proxy)
+        index = {mid: i for i, mid in enumerate(dataset.matrix.machines)}
+        return np.array([row[index[mid]] for mid in split.target_ids], dtype=float)

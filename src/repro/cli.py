@@ -1,0 +1,115 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Installed as ``repro-experiments``.  Examples::
+
+    repro-experiments table2                 # fast preset
+    repro-experiments table3 --preset full   # paper-faithful (slow)
+    repro-experiments all --preset fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.data.spec_dataset import build_default_dataset
+from repro.experiments import (
+    ExperimentConfig,
+    figure6_series,
+    figure7_series,
+    format_figure8,
+    format_figure_series,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_figure8,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = ["main"]
+
+_PRESETS: dict[str, Callable[[], ExperimentConfig]] = {
+    "fast": ExperimentConfig.fast,
+    "full": ExperimentConfig.full,
+    "smoke": ExperimentConfig.smoke,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the data-transposition paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table2", "table3", "table4", "figure6", "figure7", "figure8", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(_PRESETS),
+        default="fast",
+        help="configuration preset (default: fast)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the dataset seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiment(s) and print the text report."""
+    args = _build_parser().parse_args(argv)
+    config = _PRESETS[args.preset]()
+    if args.seed is not None:
+        config = ExperimentConfig(
+            applications=config.applications,
+            mlp_epochs=config.mlp_epochs,
+            mlp_hidden_units=config.mlp_hidden_units,
+            ga_population=config.ga_population,
+            ga_generations=config.ga_generations,
+            knn_neighbours=config.knn_neighbours,
+            noise_sigma=config.noise_sigma,
+            seed=args.seed,
+            figure8_random_draws=config.figure8_random_draws,
+            figure8_max_predictive=config.figure8_max_predictive,
+        )
+    dataset = build_default_dataset(noise_sigma=config.noise_sigma, seed=config.seed)
+
+    sections: list[str] = []
+    wants = args.experiment
+    table2_result = None
+    if wants in {"table2", "figure6", "figure7", "all"}:
+        table2_result = run_table2(dataset, config)
+    if wants in {"table2", "all"}:
+        sections.append(format_table2(table2_result))
+    if wants in {"figure6", "all"}:
+        sections.append(
+            format_figure_series(
+                figure6_series(table2=table2_result),
+                "Figure 6 - per-benchmark Spearman rank correlation",
+                higher_is_better=True,
+            )
+        )
+    if wants in {"figure7", "all"}:
+        sections.append(
+            format_figure_series(
+                figure7_series(table2=table2_result),
+                "Figure 7 - per-benchmark top-1 prediction error (%)",
+                higher_is_better=False,
+            )
+        )
+    if wants in {"table3", "all"}:
+        sections.append(format_table3(run_table3(dataset, config)))
+    if wants in {"table4", "all"}:
+        sections.append(format_table4(run_table4(dataset, config)))
+    if wants in {"figure8", "all"}:
+        sections.append(format_figure8(run_figure8(dataset, config)))
+
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Core: the data-transposition method and its evaluation pipeline."""
+
+from repro.core.linear_predictor import LinearFitDetail, LinearTranspositionPredictor
+from repro.core.mlp_predictor import MLPTranspositionPredictor
+from repro.core.ranking import MachineRanking, RankingComparison, compare_rankings
+from repro.core.results import CellResult, MethodResults, MethodSummary
+from repro.core.selection import (
+    machine_feature_matrix,
+    select_farthest_point,
+    select_k_medoids,
+    select_random,
+)
+from repro.core.transposition import (
+    DataTransposition,
+    TranspositionPredictor,
+    TranspositionResult,
+)
+from repro.core.pipeline import (
+    RankingMethod,
+    TranspositionMethod,
+    actual_ranking,
+    run_cross_validation,
+)
+
+__all__ = [
+    "CellResult",
+    "DataTransposition",
+    "LinearFitDetail",
+    "LinearTranspositionPredictor",
+    "MLPTranspositionPredictor",
+    "MachineRanking",
+    "MethodResults",
+    "MethodSummary",
+    "RankingComparison",
+    "RankingMethod",
+    "TranspositionMethod",
+    "TranspositionPredictor",
+    "TranspositionResult",
+    "actual_ranking",
+    "compare_rankings",
+    "machine_feature_matrix",
+    "run_cross_validation",
+    "select_farthest_point",
+    "select_k_medoids",
+    "select_random",
+]

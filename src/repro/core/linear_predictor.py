@@ -1,0 +1,153 @@
+"""NNᵀ — data transposition through linear regression.
+
+Section 3.2.1 of the paper: for every target machine, fit a simple linear
+regression against *each* predictive machine (the 28 training benchmarks are
+the observations), keep the predictive machine whose model fits best — the
+"nearest-neighbour machine" — and use that model to map the application of
+interest's measured score on the predictive machine to a predicted score on
+the target machine.
+
+The per-pair univariate fits have a closed form, so the whole
+(targets x predictive) grid of regressions is computed with a handful of
+matrix operations rather than an explicit double loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearTranspositionPredictor", "LinearFitDetail"]
+
+
+@dataclass(frozen=True)
+class LinearFitDetail:
+    """Diagnostics of the model chosen for one target machine."""
+
+    target_index: int
+    chosen_predictive_index: int
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+class LinearTranspositionPredictor:
+    """Best-fitting single-predictive-machine linear regression (NNᵀ).
+
+    Parameters
+    ----------
+    selection_criterion:
+        ``"rss"`` keeps the predictive machine with the lowest residual sum
+        of squares (equivalently the highest R², the paper's "best fit");
+        ``"correlation"`` keeps the one with the highest absolute Pearson
+        correlation.  Both criteria agree except in degenerate cases; the
+        ablation bench compares them.
+    top_k:
+        Number of best-fitting predictive machines to average over.  The
+        paper uses the single best machine (``top_k=1``); the ablation bench
+        explores small ensembles.
+    """
+
+    def __init__(self, selection_criterion: str = "rss", top_k: int = 1) -> None:
+        if selection_criterion not in {"rss", "correlation"}:
+            raise ValueError("selection_criterion must be 'rss' or 'correlation'")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.selection_criterion = selection_criterion
+        self.top_k = int(top_k)
+        self.fit_details_: list[LinearFitDetail] = []
+
+    def predict(
+        self,
+        benchmark_scores_predictive: np.ndarray,
+        app_scores_predictive: np.ndarray,
+        benchmark_scores_target: np.ndarray,
+    ) -> np.ndarray:
+        """Predict the application of interest's score on every target machine.
+
+        Parameters
+        ----------
+        benchmark_scores_predictive:
+            (benchmarks x predictive machines) training-benchmark scores on
+            the machines the user can measure on.
+        app_scores_predictive:
+            (predictive machines,) measured scores of the application of
+            interest on the predictive machines.
+        benchmark_scores_target:
+            (benchmarks x target machines) published training-benchmark
+            scores on the machines being ranked.
+
+        Returns
+        -------
+        (target machines,) predicted application-of-interest scores.
+        """
+        pred = np.asarray(benchmark_scores_predictive, dtype=float)
+        app = np.asarray(app_scores_predictive, dtype=float)
+        target = np.asarray(benchmark_scores_target, dtype=float)
+        if pred.ndim != 2 or target.ndim != 2:
+            raise ValueError("benchmark score matrices must be 2-D")
+        if pred.shape[0] != target.shape[0]:
+            raise ValueError(
+                "predictive and target matrices must cover the same benchmarks: "
+                f"{pred.shape[0]} vs {target.shape[0]}"
+            )
+        if pred.shape[0] < 2:
+            raise ValueError("need at least two training benchmarks")
+        if app.shape != (pred.shape[1],):
+            raise ValueError(
+                f"app_scores_predictive has shape {app.shape}, expected ({pred.shape[1]},)"
+            )
+
+        n_benchmarks, n_predictive = pred.shape
+        n_target = target.shape[1]
+
+        # Closed-form simple regression for every (predictive, target) pair.
+        pred_centered = pred - pred.mean(axis=0, keepdims=True)
+        target_centered = target - target.mean(axis=0, keepdims=True)
+        sxx = (pred_centered**2).sum(axis=0)                      # (P,)
+        syy = (target_centered**2).sum(axis=0)                    # (T,)
+        sxy = pred_centered.T @ target_centered                   # (P, T)
+
+        safe_sxx = np.where(sxx == 0.0, 1.0, sxx)
+        slopes = sxy / safe_sxx[:, None]                          # (P, T)
+        slopes[sxx == 0.0, :] = 0.0
+        intercepts = target.mean(axis=0)[None, :] - slopes * pred.mean(axis=0)[:, None]
+
+        # Residual sum of squares of each fit: syy - slope * sxy.
+        rss = syy[None, :] - slopes * sxy                         # (P, T)
+        rss = np.clip(rss, 0.0, None)
+
+        if self.selection_criterion == "rss":
+            quality = -rss
+        else:
+            denom = np.sqrt(np.outer(safe_sxx, np.where(syy == 0.0, 1.0, syy)))
+            corr = np.abs(sxy / denom)
+            corr[sxx == 0.0, :] = 0.0
+            quality = corr
+
+        predictions = np.empty(n_target, dtype=float)
+        self.fit_details_ = []
+        k = min(self.top_k, n_predictive)
+        for t in range(n_target):
+            order = np.argsort(-quality[:, t], kind="mergesort")
+            chosen = order[:k]
+            per_machine = slopes[chosen, t] * app[chosen] + intercepts[chosen, t]
+            predictions[t] = float(per_machine.mean())
+            best = int(chosen[0])
+            ss_tot = float(syy[t])
+            r_squared = 1.0 if ss_tot == 0.0 else 1.0 - float(rss[best, t]) / ss_tot
+            self.fit_details_.append(
+                LinearFitDetail(
+                    target_index=t,
+                    chosen_predictive_index=best,
+                    slope=float(slopes[best, t]),
+                    intercept=float(intercepts[best, t]),
+                    r_squared=r_squared,
+                )
+            )
+        return predictions
+
+    def chosen_predictive_machines(self) -> list[int]:
+        """Index of the predictive machine chosen for each target machine."""
+        return [detail.chosen_predictive_index for detail in self.fit_details_]

@@ -1,0 +1,129 @@
+"""Cross-validation experiment pipeline.
+
+Runs one or more ranking methods over a set of machine splits with the
+benchmark-level leave-one-out loop of Figure 5, collecting the three paper
+metrics per cell.  Both data-transposition flavours and the GA-kNN baseline
+are driven through the same :class:`RankingMethod` protocol so every table
+and figure of the evaluation is produced by this single driver.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.ranking import MachineRanking, compare_rankings
+from repro.core.results import CellResult, MethodResults
+from repro.core.transposition import DataTransposition, TranspositionPredictor
+from repro.data.spec_dataset import SpecDataset
+from repro.data.splits import MachineSplit
+
+__all__ = ["RankingMethod", "TranspositionMethod", "run_cross_validation", "actual_ranking"]
+
+
+class RankingMethod(Protocol):
+    """A method that predicts application scores on the target machines."""
+
+    def predict_application_scores(
+        self,
+        dataset: SpecDataset,
+        split: MachineSplit,
+        application: str,
+        training_benchmarks: Sequence[str],
+    ) -> np.ndarray:
+        """Return one predicted score per machine in ``split.target_ids``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class TranspositionMethod:
+    """Adapter exposing :class:`DataTransposition` through the pipeline protocol.
+
+    A fresh predictor is constructed per cell via *predictor_factory* so no
+    state leaks between applications of interest.
+    """
+
+    def __init__(self, predictor_factory, name: str) -> None:
+        self.predictor_factory = predictor_factory
+        self.name = name
+
+    def predict_application_scores(
+        self,
+        dataset: SpecDataset,
+        split: MachineSplit,
+        application: str,
+        training_benchmarks: Sequence[str],
+    ) -> np.ndarray:
+        predictor: TranspositionPredictor = self.predictor_factory()
+        method = DataTransposition(predictor)
+        result = method.predict_scores(
+            dataset, split, application, training_benchmarks=training_benchmarks
+        )
+        return np.asarray(result.predicted_scores)
+
+
+def actual_ranking(dataset: SpecDataset, split: MachineSplit, application: str) -> MachineRanking:
+    """Ranking of the target machines by the application's measured scores."""
+    row = dataset.matrix.benchmark_scores(application)
+    index = {mid: i for i, mid in enumerate(dataset.matrix.machines)}
+    actual_scores = [row[index[mid]] for mid in split.target_ids]
+    return MachineRanking.from_scores(split.target_ids, actual_scores)
+
+
+def run_cross_validation(
+    dataset: SpecDataset,
+    splits: Sequence[MachineSplit],
+    methods: Mapping[str, RankingMethod],
+    applications: Sequence[str] | None = None,
+) -> dict[str, MethodResults]:
+    """Run every method over every (split, application) cell.
+
+    Parameters
+    ----------
+    dataset:
+        The study dataset.
+    splits:
+        Machine splits to evaluate (e.g. the 17 family splits for Table 2,
+        or a single temporal split for Table 3).
+    methods:
+        Mapping from method name to a :class:`RankingMethod`.
+    applications:
+        Applications of interest; defaults to all benchmarks (the full
+        leave-one-out loop).  Restricting this list is how tests and quick
+        benches bound runtime.
+
+    Returns
+    -------
+    Mapping from method name to its collected :class:`MethodResults`.
+    """
+    if not splits:
+        raise ValueError("at least one machine split is required")
+    if not methods:
+        raise ValueError("at least one method is required")
+    app_names = list(applications) if applications is not None else dataset.benchmark_names
+    unknown = set(app_names) - set(dataset.benchmark_names)
+    if unknown:
+        raise ValueError(f"unknown applications of interest: {sorted(unknown)}")
+
+    results = {name: MethodResults(method=name) for name in methods}
+    for split in splits:
+        for application in app_names:
+            training = [name for name in dataset.benchmark_names if name != application]
+            reference = actual_ranking(dataset, split, application)
+            for name, method in methods.items():
+                predicted_scores = method.predict_application_scores(
+                    dataset, split, application, training
+                )
+                predicted = MachineRanking.from_scores(split.target_ids, predicted_scores)
+                comparison = compare_rankings(predicted, reference)
+                results[name].add(
+                    CellResult(
+                        method=name,
+                        split_name=split.name,
+                        application=application,
+                        rank_correlation=comparison.rank_correlation,
+                        top1_error_percent=comparison.top1_error_percent,
+                        mean_error_percent=comparison.mean_error_percent,
+                    )
+                )
+    return results

@@ -1,0 +1,93 @@
+"""Machine rankings.
+
+Turning predicted scores into a machine ranking — and measuring how well
+that ranking matches the one induced by measured scores — is the end goal of
+the whole methodology (Section 6.1).  :class:`MachineRanking` is a small
+value object pairing machine identifiers with scores; the module-level
+helpers compute the Spearman agreement and purchasing-loss metrics between a
+predicted and an actual ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.correlation import spearman_correlation
+from repro.stats.metrics import mean_absolute_percentage_error, top_n_deficiency
+from repro.stats.ranking import top_n_indices
+
+__all__ = ["MachineRanking", "compare_rankings", "RankingComparison"]
+
+
+@dataclass(frozen=True)
+class MachineRanking:
+    """Machines ordered by a performance score for one application."""
+
+    machine_ids: tuple[str, ...]
+    scores: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.machine_ids) != len(self.scores):
+            raise ValueError("machine_ids and scores must have the same length")
+        if len(self.machine_ids) == 0:
+            raise ValueError("a ranking needs at least one machine")
+        if len(set(self.machine_ids)) != len(self.machine_ids):
+            raise ValueError("machine identifiers must be unique")
+
+    @classmethod
+    def from_scores(cls, machine_ids: Sequence[str], scores: Sequence[float]) -> "MachineRanking":
+        """Build a ranking from parallel id/score sequences (any order)."""
+        return cls(machine_ids=tuple(machine_ids), scores=tuple(float(s) for s in scores))
+
+    def ordered_ids(self) -> list[str]:
+        """Machine identifiers from best (highest score) to worst."""
+        order = np.argsort(-np.asarray(self.scores), kind="mergesort")
+        return [self.machine_ids[i] for i in order]
+
+    def top(self, n: int = 1) -> list[str]:
+        """The predicted top-*n* machines, best first."""
+        indices = top_n_indices(self.scores, n)
+        return [self.machine_ids[i] for i in indices]
+
+    def score_of(self, machine_id: str) -> float:
+        """Score of one machine; raises KeyError for unknown identifiers."""
+        try:
+            index = self.machine_ids.index(machine_id)
+        except ValueError:
+            raise KeyError(f"unknown machine {machine_id!r}") from None
+        return self.scores[index]
+
+
+@dataclass(frozen=True)
+class RankingComparison:
+    """Agreement metrics between a predicted and an actual ranking."""
+
+    rank_correlation: float
+    top1_error_percent: float
+    mean_error_percent: float
+    predicted_top1: str
+    actual_top1: str
+
+    @property
+    def predicted_best_is_actual_best(self) -> bool:
+        """Whether the purchase recommendation is exactly right."""
+        return self.predicted_top1 == self.actual_top1
+
+
+def compare_rankings(predicted: MachineRanking, actual: MachineRanking) -> RankingComparison:
+    """Compute the paper's three metrics between two rankings of the same machines."""
+    if set(predicted.machine_ids) != set(actual.machine_ids):
+        raise ValueError("rankings must cover the same set of machines")
+    # Align the actual scores to the predicted ranking's machine order.
+    aligned_actual = np.array([actual.score_of(mid) for mid in predicted.machine_ids])
+    predicted_scores = np.asarray(predicted.scores)
+    return RankingComparison(
+        rank_correlation=spearman_correlation(predicted_scores, aligned_actual),
+        top1_error_percent=top_n_deficiency(predicted_scores, aligned_actual, n=1),
+        mean_error_percent=mean_absolute_percentage_error(predicted_scores, aligned_actual),
+        predicted_top1=predicted.top(1)[0],
+        actual_top1=actual.top(1)[0],
+    )

@@ -1,0 +1,161 @@
+"""The data-transposition method.
+
+:class:`DataTransposition` is the user-facing orchestrator: given a dataset,
+a predictive/target machine split and an application of interest, it
+
+1. extracts the training-benchmark scores on the predictive machines and the
+   application's measured scores on those machines,
+2. hands them to a transposition predictor (NNᵀ or MLPᵀ), and
+3. returns the predicted scores / ranking of the target machines.
+
+The class knows nothing about how the predictor works internally — anything
+implementing ``predict(benchmark_scores_predictive, app_scores_predictive,
+benchmark_scores_target)`` can be plugged in, which is also how the ablation
+benches swap in variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.linear_predictor import LinearTranspositionPredictor
+from repro.core.mlp_predictor import MLPTranspositionPredictor
+from repro.core.ranking import MachineRanking
+from repro.data.spec_dataset import SpecDataset
+from repro.data.splits import MachineSplit
+
+__all__ = ["TranspositionPredictor", "DataTransposition", "TranspositionResult"]
+
+
+class TranspositionPredictor(Protocol):
+    """Anything that maps predictive-machine measurements to target predictions."""
+
+    def predict(
+        self,
+        benchmark_scores_predictive: np.ndarray,
+        app_scores_predictive: np.ndarray,
+        benchmark_scores_target: np.ndarray,
+    ) -> np.ndarray:
+        """Return predicted application scores, one per target machine."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class TranspositionResult:
+    """Predictions of one data-transposition run."""
+
+    application: str
+    split_name: str
+    target_ids: tuple[str, ...]
+    predicted_scores: tuple[float, ...]
+
+    def ranking(self) -> MachineRanking:
+        """The predicted machine ranking for the application of interest."""
+        return MachineRanking(machine_ids=self.target_ids, scores=self.predicted_scores)
+
+
+class DataTransposition:
+    """Rank target machines for an application of interest by transposition.
+
+    Parameters
+    ----------
+    predictor:
+        A transposition predictor instance; defaults to the MLPᵀ model the
+        paper found most accurate.  Use
+        :class:`repro.core.linear_predictor.LinearTranspositionPredictor`
+        for the NNᵀ flavour.
+    """
+
+    def __init__(self, predictor: TranspositionPredictor | None = None) -> None:
+        self.predictor = predictor if predictor is not None else MLPTranspositionPredictor()
+
+    @classmethod
+    def with_linear_regression(cls, **kwargs) -> "DataTransposition":
+        """Convenience constructor for the NNᵀ flavour."""
+        return cls(LinearTranspositionPredictor(**kwargs))
+
+    @classmethod
+    def with_mlp(cls, **kwargs) -> "DataTransposition":
+        """Convenience constructor for the MLPᵀ flavour."""
+        return cls(MLPTranspositionPredictor(**kwargs))
+
+    # ------------------------------------------------------------------ API
+    def predict_scores(
+        self,
+        dataset: SpecDataset,
+        split: MachineSplit,
+        application: str,
+        training_benchmarks: Sequence[str] | None = None,
+        app_scores_predictive: Sequence[float] | None = None,
+    ) -> TranspositionResult:
+        """Predict the application's score on every target machine of *split*.
+
+        Parameters
+        ----------
+        dataset:
+            The study dataset (matrix + metadata).
+        split:
+            Which machines are predictive vs. target.
+        application:
+            Name of the application of interest.  In the paper's leave-one-
+            out evaluation this is one of the suite benchmarks; it is then
+            removed from the training benchmarks automatically.
+        training_benchmarks:
+            Benchmarks to use as the "industry-standard suite"; defaults to
+            every benchmark in the dataset except the application itself.
+        app_scores_predictive:
+            Measured scores of the application on the predictive machines.
+            Defaults to the values recorded in the dataset matrix, which is
+            what the leave-one-out evaluation uses; real users of the
+            library pass their own measurements here.
+        """
+        if training_benchmarks is None:
+            training_benchmarks = [
+                name for name in dataset.benchmark_names if name != application
+            ]
+        else:
+            training_benchmarks = list(training_benchmarks)
+            if application in training_benchmarks:
+                raise ValueError(
+                    "the application of interest must not be part of the training benchmarks"
+                )
+        if not training_benchmarks:
+            raise ValueError("at least one training benchmark is required")
+
+        train_matrix = dataset.matrix.select_benchmarks(training_benchmarks)
+        predictive = train_matrix.select_machines(split.predictive_ids)
+        target = train_matrix.select_machines(split.target_ids)
+
+        if app_scores_predictive is None:
+            app_row = dataset.matrix.benchmark_scores(application)
+            machine_index = {mid: i for i, mid in enumerate(dataset.matrix.machines)}
+            app_scores = np.array(
+                [app_row[machine_index[mid]] for mid in split.predictive_ids], dtype=float
+            )
+        else:
+            app_scores = np.asarray(app_scores_predictive, dtype=float)
+            if app_scores.shape != (len(split.predictive_ids),):
+                raise ValueError(
+                    "app_scores_predictive must provide one measurement per predictive machine"
+                )
+
+        predictions = self.predictor.predict(predictive.scores, app_scores, target.scores)
+        return TranspositionResult(
+            application=application,
+            split_name=split.name,
+            target_ids=tuple(split.target_ids),
+            predicted_scores=tuple(float(value) for value in predictions),
+        )
+
+    def rank_machines(
+        self,
+        dataset: SpecDataset,
+        split: MachineSplit,
+        application: str,
+        **kwargs,
+    ) -> MachineRanking:
+        """Predicted ranking of the target machines (best machine first in ``.top()``)."""
+        return self.predict_scores(dataset, split, application, **kwargs).ranking()

@@ -1,0 +1,227 @@
+"""The commercial-machine catalogue (Table 1 of the paper).
+
+The paper selects 117 machines from the SPEC CPU2006 submission database:
+39 CPU nicknames across 17 processor families, three machines per nickname
+(submissions differ in clock grade, memory configuration and vendor
+platform).  This module reconstructs that catalogue.  For every nickname a
+base micro-architecture configuration is defined from public spec sheets;
+the three concrete machines per nickname are derived variants with slightly
+different clock grades and memory speeds, mirroring how real submissions of
+the same CPU differ.
+
+The catalogue provides machine metadata (processor family, vendor, ISA and
+release year) that the cross-validation splitters in
+:mod:`repro.data.splits` group by, exactly as the paper's evaluation does
+(family-level cross-validation in Section 6.2, release-year splits in
+Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.simulator.microarch import MicroarchConfig
+
+__all__ = [
+    "MachineSpec",
+    "NICKNAME_SPECS",
+    "build_machine_catalogue",
+    "machines_by_family",
+    "machines_by_year",
+    "PROCESSOR_FAMILIES",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One commercial machine: identity metadata plus its simulator config."""
+
+    machine_id: str
+    family: str
+    nickname: str
+    vendor: str
+    release_year: int
+    config: MicroarchConfig
+
+    @property
+    def name(self) -> str:
+        """Human-readable name, identical to the simulator config name."""
+        return self.config.name
+
+    @property
+    def isa(self) -> str:
+        """Instruction-set architecture of the machine."""
+        return self.config.isa
+
+
+def _config(name, isa, freq, issue, rob, pipe, l1, l2, l3, lat, bw, bp, fp, simd, eff):
+    return MicroarchConfig(
+        name=name,
+        isa=isa,
+        frequency_ghz=freq,
+        issue_width=issue,
+        rob_size=rob,
+        pipeline_depth=pipe,
+        l1_kb=l1,
+        l2_kb=l2,
+        l3_kb=l3,
+        mem_latency_ns=lat,
+        mem_bandwidth_gbs=bw,
+        branch_predictor_quality=bp,
+        fp_throughput=fp,
+        simd_width=simd,
+        isa_efficiency=eff,
+    )
+
+
+#: (family, nickname, vendor, release year, base configuration).
+#: One entry per CPU nickname of Table 1; 39 entries in total.
+NICKNAME_SPECS: tuple[tuple[str, str, str, int, MicroarchConfig], ...] = (
+    # ----------------------------------------------------------------- AMD
+    ("AMD Opteron (K10)", "Barcelona", "AMD", 2008,
+     _config("AMD Opteron Barcelona", "x86", 2.3, 3, 72, 12, 64, 512, 2048, 60.0, 10.6, 0.93, 1.0, 2, 1.00)),
+    ("AMD Opteron (K10)", "Istanbul", "AMD", 2009,
+     _config("AMD Opteron Istanbul", "x86", 2.6, 3, 72, 12, 64, 512, 6144, 58.0, 12.8, 0.93, 1.0, 2, 1.00)),
+    ("AMD Opteron (K10)", "Shanghai", "AMD", 2009,
+     _config("AMD Opteron Shanghai", "x86", 2.7, 3, 72, 12, 64, 512, 6144, 58.0, 12.8, 0.93, 1.0, 2, 1.00)),
+    ("AMD Opteron (K8)", "Santa Rosa", "AMD", 2006,
+     _config("AMD Opteron Santa Rosa", "x86", 2.8, 3, 72, 12, 64, 1024, 0, 70.0, 6.4, 0.90, 0.8, 2, 1.00)),
+    ("AMD Opteron (K8)", "Troy", "AMD", 2005,
+     _config("AMD Opteron Troy", "x86", 2.6, 3, 72, 12, 64, 1024, 0, 75.0, 5.3, 0.90, 0.8, 2, 1.00)),
+    ("AMD Phenom", "Agena", "AMD", 2008,
+     _config("AMD Phenom Agena", "x86", 2.3, 3, 72, 12, 64, 512, 2048, 62.0, 8.5, 0.93, 1.0, 2, 1.00)),
+    ("AMD Phenom", "Deneb", "AMD", 2009,
+     _config("AMD Phenom II Deneb", "x86", 3.0, 3, 72, 12, 64, 512, 6144, 58.0, 10.6, 0.93, 1.0, 2, 1.00)),
+    ("AMD Turion", "Trinidad", "AMD", 2006,
+     _config("AMD Turion Trinidad", "x86", 2.0, 3, 72, 12, 64, 512, 0, 80.0, 3.2, 0.90, 0.8, 2, 1.00)),
+    # ----------------------------------------------------------------- IBM
+    ("IBM POWER 5", "POWER5+", "IBM", 2005,
+     _config("IBM POWER5+", "power", 1.9, 5, 100, 16, 32, 1920, 36864, 90.0, 12.0, 0.92, 1.5, 1, 1.10)),
+    ("IBM POWER 6", "POWER6", "IBM", 2007,
+     _config("IBM POWER6", "power", 4.7, 5, 48, 13, 64, 4096, 32768, 100.0, 20.0, 0.93, 1.3, 2, 1.10)),
+    # -------------------------------------------------------- Intel Core 2
+    ("Intel Core 2", "Allendale", "Intel", 2007,
+     _config("Intel Core 2 Allendale", "x86", 2.2, 4, 96, 14, 32, 2048, 0, 85.0, 6.4, 0.95, 1.0, 2, 1.00)),
+    ("Intel Core 2", "Conroe", "Intel", 2006,
+     _config("Intel Core 2 Conroe", "x86", 2.4, 4, 96, 14, 32, 4096, 0, 85.0, 6.4, 0.95, 1.0, 2, 1.00)),
+    ("Intel Core 2", "Kentsfield", "Intel", 2007,
+     _config("Intel Core 2 Kentsfield", "x86", 2.66, 4, 96, 14, 32, 4096, 0, 88.0, 8.5, 0.95, 1.0, 2, 1.00)),
+    ("Intel Core 2", "Merom-2M", "Intel", 2006,
+     _config("Intel Core 2 Merom-2M", "x86", 2.0, 4, 96, 14, 32, 2048, 0, 95.0, 5.3, 0.95, 1.0, 2, 1.00)),
+    ("Intel Core 2", "Penryn-3M", "Intel", 2008,
+     _config("Intel Core 2 Penryn-3M", "x86", 2.4, 4, 96, 14, 32, 3072, 0, 85.0, 8.5, 0.95, 1.1, 2, 1.00)),
+    ("Intel Core 2", "Wolfdale", "Intel", 2008,
+     _config("Intel Core 2 Wolfdale", "x86", 3.0, 4, 96, 14, 32, 6144, 0, 80.0, 10.6, 0.95, 1.1, 2, 1.00)),
+    ("Intel Core 2", "Yorkfield", "Intel", 2008,
+     _config("Intel Core 2 Yorkfield", "x86", 2.83, 4, 96, 14, 32, 6144, 0, 82.0, 10.6, 0.95, 1.1, 2, 1.00)),
+    # ------------------------------------------------------ other Intel CPUs
+    ("Intel Core Duo", "Yonah", "Intel", 2006,
+     _config("Intel Core Duo Yonah", "x86", 1.83, 3, 48, 12, 32, 2048, 0, 95.0, 5.3, 0.94, 0.8, 2, 1.00)),
+    ("Intel Core i7", "Bloomfield XE", "Intel", 2009,
+     _config("Intel Core i7 Bloomfield XE", "x86", 3.2, 4, 128, 14, 32, 256, 8192, 50.0, 25.6, 0.96, 1.2, 2, 1.00)),
+    ("Intel Itanium", "Montecito", "Intel", 2007,
+     _config("Intel Itanium Montecito", "ia64", 1.6, 6, 48, 8, 16, 256, 12288, 120.0, 8.5, 0.90, 2.0, 2, 1.30)),
+    ("Intel Pentium D", "Presler", "Intel", 2006,
+     _config("Intel Pentium D Presler", "x86", 3.4, 3, 126, 31, 16, 2048, 0, 95.0, 6.4, 0.92, 0.8, 2, 1.00)),
+    ("Intel Pentium Dual-Core", "Allendale", "Intel", 2007,
+     _config("Intel Pentium Dual-Core Allendale", "x86", 2.0, 4, 96, 14, 32, 1024, 0, 90.0, 5.3, 0.95, 1.0, 2, 1.00)),
+    ("Intel Pentium M", "Dothan", "Intel", 2004,
+     _config("Intel Pentium M Dothan", "x86", 2.0, 3, 48, 12, 32, 2048, 0, 110.0, 3.2, 0.93, 0.7, 2, 1.00)),
+    # ------------------------------------------------------------ Intel Xeon
+    ("Intel Xeon", "Bloomfield", "Intel", 2009,
+     _config("Intel Xeon Bloomfield", "x86", 3.2, 4, 128, 14, 32, 256, 8192, 50.0, 25.6, 0.96, 1.2, 2, 1.00)),
+    ("Intel Xeon", "Clovertown", "Intel", 2007,
+     _config("Intel Xeon Clovertown", "x86", 2.66, 4, 96, 14, 32, 4096, 0, 95.0, 8.5, 0.95, 1.0, 2, 1.00)),
+    ("Intel Xeon", "Conroe", "Intel", 2006,
+     _config("Intel Xeon Conroe", "x86", 2.4, 4, 96, 14, 32, 4096, 0, 90.0, 6.4, 0.95, 1.0, 2, 1.00)),
+    ("Intel Xeon", "Dunnington", "Intel", 2008,
+     _config("Intel Xeon Dunnington", "x86", 2.66, 4, 96, 14, 32, 3072, 16384, 95.0, 8.5, 0.95, 1.1, 2, 1.00)),
+    ("Intel Xeon", "Gainestown", "Intel", 2009,
+     _config("Intel Xeon Gainestown", "x86", 2.93, 4, 128, 14, 32, 256, 8192, 45.0, 32.0, 0.96, 1.2, 2, 1.00)),
+    ("Intel Xeon", "Harpertown", "Intel", 2007,
+     _config("Intel Xeon Harpertown", "x86", 3.0, 4, 96, 14, 32, 6144, 0, 90.0, 10.6, 0.95, 1.1, 2, 1.00)),
+    ("Intel Xeon", "Kentsfield", "Intel", 2007,
+     _config("Intel Xeon Kentsfield", "x86", 2.66, 4, 96, 14, 32, 4096, 0, 90.0, 8.5, 0.95, 1.0, 2, 1.00)),
+    ("Intel Xeon", "Lynnfield", "Intel", 2009,
+     _config("Intel Xeon Lynnfield", "x86", 2.93, 4, 128, 14, 32, 256, 8192, 55.0, 21.0, 0.96, 1.2, 2, 1.00)),
+    ("Intel Xeon", "Tigerton", "Intel", 2007,
+     _config("Intel Xeon Tigerton", "x86", 2.93, 4, 96, 14, 32, 4096, 0, 100.0, 8.5, 0.95, 1.0, 2, 1.00)),
+    ("Intel Xeon", "Tulsa", "Intel", 2006,
+     _config("Intel Xeon Tulsa", "x86", 3.4, 3, 126, 31, 16, 1024, 16384, 110.0, 6.4, 0.92, 0.8, 2, 1.00)),
+    ("Intel Xeon", "Wolfdale-DP", "Intel", 2008,
+     _config("Intel Xeon Wolfdale-DP", "x86", 3.16, 4, 96, 14, 32, 6144, 0, 80.0, 10.6, 0.95, 1.1, 2, 1.00)),
+    ("Intel Xeon", "Woodcrest", "Intel", 2006,
+     _config("Intel Xeon Woodcrest", "x86", 3.0, 4, 96, 14, 32, 4096, 0, 85.0, 8.5, 0.95, 1.0, 2, 1.00)),
+    ("Intel Xeon", "Yorkfield", "Intel", 2008,
+     _config("Intel Xeon Yorkfield", "x86", 2.83, 4, 96, 14, 32, 6144, 0, 85.0, 10.6, 0.95, 1.1, 2, 1.00)),
+    # ---------------------------------------------------------------- SPARC
+    ("SPARC64 VI", "Olympus-C", "Fujitsu", 2007,
+     _config("SPARC64 VI Olympus-C", "sparc", 2.15, 4, 64, 15, 128, 6144, 0, 105.0, 8.5, 0.92, 1.2, 1, 1.12)),
+    ("SPARC64 VII", "Jupiter", "Fujitsu", 2008,
+     _config("SPARC64 VII Jupiter", "sparc", 2.52, 4, 64, 15, 128, 6144, 0, 100.0, 10.6, 0.92, 1.3, 1, 1.12)),
+    ("UltraSPARC III", "Cheetah+", "Sun", 2002,
+     _config("UltraSPARC III Cheetah+", "sparc", 1.2, 4, 16, 14, 64, 8192, 0, 180.0, 2.4, 0.88, 0.7, 1, 1.15)),
+)
+
+#: The 17 processor families of Table 1.
+PROCESSOR_FAMILIES: tuple[str, ...] = tuple(
+    dict.fromkeys(family for family, *_ in NICKNAME_SPECS)
+)
+
+#: Per-variant (clock multiplier, memory-bandwidth multiplier, latency
+#: multiplier): three SPEC submissions of the same CPU nickname typically
+#: differ in clock grade and platform memory configuration.
+_VARIANT_FACTORS: tuple[tuple[float, float, float], ...] = (
+    (0.85, 0.92, 1.06),
+    (1.00, 1.00, 1.00),
+    (1.13, 1.08, 0.95),
+)
+
+
+def build_machine_catalogue() -> list[MachineSpec]:
+    """Construct the full 117-machine catalogue (39 nicknames x 3 machines).
+
+    Machine identifiers are stable (``<nickname-slug>-<variant>``) so that
+    experiment results can be traced back to a concrete configuration.
+    """
+    catalogue: list[MachineSpec] = []
+    for family, nickname, vendor, year, base in NICKNAME_SPECS:
+        family_slug = family.lower().replace(" ", "-").replace("(", "").replace(")", "")
+        nickname_slug = nickname.lower().replace(" ", "-")
+        for variant, (clock_factor, bandwidth_factor, latency_factor) in enumerate(
+            _VARIANT_FACTORS, start=1
+        ):
+            config = replace(
+                base,
+                name=f"{base.name} #{variant}",
+                frequency_ghz=round(base.frequency_ghz * clock_factor, 3),
+                mem_bandwidth_gbs=round(base.mem_bandwidth_gbs * bandwidth_factor, 3),
+                mem_latency_ns=round(base.mem_latency_ns * latency_factor, 3),
+            )
+            catalogue.append(
+                MachineSpec(
+                    machine_id=f"{family_slug}-{nickname_slug}-{variant}",
+                    family=family,
+                    nickname=nickname,
+                    vendor=vendor,
+                    release_year=year,
+                    config=config,
+                )
+            )
+    return catalogue
+
+
+def machines_by_family(machines: list[MachineSpec]) -> dict[str, list[MachineSpec]]:
+    """Group machines by processor family (the Table 2 cross-validation unit)."""
+    grouped: dict[str, list[MachineSpec]] = {}
+    for machine in machines:
+        grouped.setdefault(machine.family, []).append(machine)
+    return grouped
+
+
+def machines_by_year(machines: list[MachineSpec]) -> dict[int, list[MachineSpec]]:
+    """Group machines by release year (the Table 3 temporal-split unit)."""
+    grouped: dict[int, list[MachineSpec]] = {}
+    for machine in machines:
+        grouped.setdefault(machine.release_year, []).append(machine)
+    return grouped

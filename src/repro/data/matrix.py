@@ -1,0 +1,168 @@
+"""The benchmark-by-machine performance matrix.
+
+Figure 2 of the paper frames everything around a data matrix whose rows are
+benchmarks and whose columns are machines, holding SPEC-style speed ratios.
+:class:`PerformanceMatrix` is that object: a labelled 2-D array with
+row/column lookup by benchmark or machine name, sub-matrix selection (the
+cross-validation splitters carve predictive/target machine sets and remove
+the application of interest from the training rows), the transposition the
+method is named after, and CSV round-tripping so generated datasets can be
+inspected or swapped for real SPEC exports.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PerformanceMatrix"]
+
+
+class PerformanceMatrix:
+    """Labelled benchmarks x machines matrix of performance scores."""
+
+    def __init__(
+        self,
+        benchmarks: Sequence[str],
+        machines: Sequence[str],
+        scores: np.ndarray | Sequence[Sequence[float]],
+    ) -> None:
+        self.benchmarks = list(benchmarks)
+        self.machines = list(machines)
+        self.scores = np.asarray(scores, dtype=float)
+        if self.scores.shape != (len(self.benchmarks), len(self.machines)):
+            raise ValueError(
+                f"scores shape {self.scores.shape} does not match "
+                f"({len(self.benchmarks)} benchmarks, {len(self.machines)} machines)"
+            )
+        if len(set(self.benchmarks)) != len(self.benchmarks):
+            raise ValueError("benchmark names must be unique")
+        if len(set(self.machines)) != len(self.machines):
+            raise ValueError("machine names must be unique")
+        if not np.all(np.isfinite(self.scores)):
+            raise ValueError("scores must all be finite")
+        if np.any(self.scores <= 0):
+            raise ValueError("SPEC-style speed ratios must be positive")
+        self._benchmark_index = {name: i for i, name in enumerate(self.benchmarks)}
+        self._machine_index = {name: i for i, name in enumerate(self.machines)}
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(number of benchmarks, number of machines)."""
+        return self.scores.shape
+
+    def benchmark_index(self, benchmark: str) -> int:
+        """Row index of *benchmark*; raises KeyError for unknown names."""
+        try:
+            return self._benchmark_index[benchmark]
+        except KeyError:
+            raise KeyError(f"unknown benchmark {benchmark!r}") from None
+
+    def machine_index(self, machine: str) -> int:
+        """Column index of *machine*; raises KeyError for unknown names."""
+        try:
+            return self._machine_index[machine]
+        except KeyError:
+            raise KeyError(f"unknown machine {machine!r}") from None
+
+    def score(self, benchmark: str, machine: str) -> float:
+        """Single cell: the score of *benchmark* on *machine*."""
+        return float(self.scores[self.benchmark_index(benchmark), self.machine_index(machine)])
+
+    def benchmark_scores(self, benchmark: str) -> np.ndarray:
+        """One row: *benchmark*'s score on every machine."""
+        return self.scores[self.benchmark_index(benchmark)].copy()
+
+    def machine_scores(self, machine: str) -> np.ndarray:
+        """One column: every benchmark's score on *machine*."""
+        return self.scores[:, self.machine_index(machine)].copy()
+
+    # ------------------------------------------------------------- selection
+    def select_machines(self, machines: Iterable[str]) -> "PerformanceMatrix":
+        """Sub-matrix containing only the given machines (columns), in order."""
+        names = list(machines)
+        indices = [self.machine_index(name) for name in names]
+        return PerformanceMatrix(self.benchmarks, names, self.scores[:, indices])
+
+    def select_benchmarks(self, benchmarks: Iterable[str]) -> "PerformanceMatrix":
+        """Sub-matrix containing only the given benchmarks (rows), in order."""
+        names = list(benchmarks)
+        indices = [self.benchmark_index(name) for name in names]
+        return PerformanceMatrix(names, self.machines, self.scores[indices, :])
+
+    def drop_benchmark(self, benchmark: str) -> "PerformanceMatrix":
+        """Matrix without one benchmark row (the leave-one-out application of interest)."""
+        remaining = [name for name in self.benchmarks if name != benchmark]
+        if len(remaining) == len(self.benchmarks):
+            raise KeyError(f"unknown benchmark {benchmark!r}")
+        return self.select_benchmarks(remaining)
+
+    def drop_machines(self, machines: Iterable[str]) -> "PerformanceMatrix":
+        """Matrix without the given machine columns."""
+        to_drop = set(machines)
+        unknown = to_drop - set(self.machines)
+        if unknown:
+            raise KeyError(f"unknown machines: {sorted(unknown)}")
+        remaining = [name for name in self.machines if name not in to_drop]
+        return self.select_machines(remaining)
+
+    # ---------------------------------------------------------- transposition
+    def transposed(self) -> "PerformanceMatrix":
+        """The transposed matrix: rows become machines, columns benchmarks.
+
+        This is the literal operation that gives the paper's method its
+        name — after transposition, "find the most similar row" means
+        finding the most similar *machine* rather than the most similar
+        benchmark.
+        """
+        return PerformanceMatrix(self.machines, self.benchmarks, self.scores.T)
+
+    # ----------------------------------------------------------------- stats
+    def machine_means(self) -> np.ndarray:
+        """Mean score per machine across the suite (the naive purchase metric)."""
+        return self.scores.mean(axis=0)
+
+    def benchmark_means(self) -> np.ndarray:
+        """Mean score per benchmark across machines."""
+        return self.scores.mean(axis=1)
+
+    # ------------------------------------------------------------------- csv
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the matrix (benchmarks as rows) to a CSV file and return its path."""
+        target = Path(path)
+        with target.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["benchmark", *self.machines])
+            for benchmark, row in zip(self.benchmarks, self.scores):
+                writer.writerow([benchmark, *(f"{value:.6g}" for value in row)])
+        return target
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "PerformanceMatrix":
+        """Read a matrix previously written by :meth:`to_csv`."""
+        source = Path(path)
+        with source.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if not header or header[0] != "benchmark":
+                raise ValueError(f"{source} is not a performance-matrix CSV")
+            machines = header[1:]
+            benchmarks: list[str] = []
+            rows: list[list[float]] = []
+            for record in reader:
+                if not record:
+                    continue
+                benchmarks.append(record[0])
+                rows.append([float(value) for value in record[1:]])
+        return cls(benchmarks, machines, np.asarray(rows))
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PerformanceMatrix({len(self.benchmarks)} benchmarks x "
+            f"{len(self.machines)} machines)"
+        )

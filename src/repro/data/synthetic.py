@@ -1,0 +1,81 @@
+"""Synthetic SPEC dataset generation.
+
+Glue between the machine catalogue, the benchmark definitions and the
+simulator: run every benchmark through every machine's interval model and
+assemble the resulting SPEC-style speed ratios into a
+:class:`repro.data.matrix.PerformanceMatrix`.  See DESIGN.md for why this
+substitutes for the published spec.org submission data the paper used.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.benchmarks import SPEC_CPU2006_BENCHMARKS
+from repro.data.machines import MachineSpec, build_machine_catalogue
+from repro.data.matrix import PerformanceMatrix
+from repro.simulator.spec_score import MachineSimulator
+from repro.simulator.workload import WorkloadCharacteristics
+
+__all__ = ["generate_performance_matrix", "score_application"]
+
+
+def generate_performance_matrix(
+    machines: Sequence[MachineSpec] | None = None,
+    benchmarks: Sequence[WorkloadCharacteristics] | None = None,
+    noise_sigma: float = 0.03,
+    seed: int = 0,
+) -> PerformanceMatrix:
+    """Simulate every benchmark on every machine and return the score matrix.
+
+    Parameters
+    ----------
+    machines:
+        Machine specifications; defaults to the full 117-machine catalogue.
+    benchmarks:
+        Workloads; defaults to the 29 SPEC CPU2006 benchmarks.
+    noise_sigma:
+        Log-normal measurement noise passed to the simulator (0 disables it).
+    seed:
+        Base seed for the per-cell noise draws.
+    """
+    machine_specs = list(machines) if machines is not None else build_machine_catalogue()
+    workloads = list(benchmarks) if benchmarks is not None else list(SPEC_CPU2006_BENCHMARKS)
+    if not machine_specs:
+        raise ValueError("at least one machine is required")
+    if not workloads:
+        raise ValueError("at least one benchmark is required")
+
+    scores = np.empty((len(workloads), len(machine_specs)), dtype=float)
+    for column, machine in enumerate(machine_specs):
+        simulator = MachineSimulator(machine.config, noise_sigma=noise_sigma, seed=seed)
+        scores[:, column] = simulator.score_suite(workloads)
+
+    return PerformanceMatrix(
+        benchmarks=[workload.name for workload in workloads],
+        machines=[machine.machine_id for machine in machine_specs],
+        scores=scores,
+    )
+
+
+def score_application(
+    application: WorkloadCharacteristics,
+    machines: Sequence[MachineSpec],
+    noise_sigma: float = 0.03,
+    seed: int = 0,
+) -> np.ndarray:
+    """Simulated scores of one application of interest on the given machines.
+
+    Used by the examples and the applications layer to obtain the "ground
+    truth" an experiment compares predictions against, and to produce the
+    measurements the user would collect on the predictive machines.
+    """
+    return np.array(
+        [
+            MachineSimulator(machine.config, noise_sigma=noise_sigma, seed=seed).score(application)
+            for machine in machines
+        ],
+        dtype=float,
+    )

@@ -1,0 +1,45 @@
+"""Experiment reproductions: one module per table/figure of the paper."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import GAKNN, MLPT, NNT, standard_methods
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result, run_table2
+from repro.experiments.table3 import ERAS, PAPER_TABLE3, Table3Result, run_table3
+from repro.experiments.table4 import PAPER_TABLE4, SUBSET_SIZES, Table4Result, run_table4
+from repro.experiments.figures67 import FigureSeries, figure6_series, figure7_series
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.report import (
+    format_figure8,
+    format_figure_series,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+
+__all__ = [
+    "ERAS",
+    "ExperimentConfig",
+    "Figure8Result",
+    "FigureSeries",
+    "GAKNN",
+    "MLPT",
+    "NNT",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "SUBSET_SIZES",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "figure6_series",
+    "figure7_series",
+    "format_figure8",
+    "format_figure_series",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "run_figure8",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "standard_methods",
+]

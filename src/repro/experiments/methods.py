@@ -1,0 +1,40 @@
+"""Standard method line-up used across the experiments.
+
+Table 2, Table 3, Table 4 and Figures 6/7 all compare the same three
+methods: NNᵀ, MLPᵀ and GA-kNN.  This module builds that line-up from an
+:class:`repro.experiments.config.ExperimentConfig` so every experiment uses
+identical hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ga_knn import GAKNNBaseline
+from repro.core.linear_predictor import LinearTranspositionPredictor
+from repro.core.mlp_predictor import MLPTranspositionPredictor
+from repro.core.pipeline import RankingMethod, TranspositionMethod
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["NNT", "MLPT", "GAKNN", "standard_methods"]
+
+#: Canonical method names used in result tables (match the paper's labels).
+NNT = "NN^T"
+MLPT = "MLP^T"
+GAKNN = "GA-kNN"
+
+
+def standard_methods(config: ExperimentConfig) -> dict[str, RankingMethod]:
+    """The NNᵀ / MLPᵀ / GA-kNN line-up with the configured hyper-parameters."""
+    return {
+        NNT: TranspositionMethod(LinearTranspositionPredictor, NNT),
+        MLPT: TranspositionMethod(
+            lambda: MLPTranspositionPredictor(
+                hidden_units=config.mlp_hidden_units,
+                epochs=config.mlp_epochs,
+                seed=config.seed,
+            ),
+            MLPT,
+        ),
+        GAKNN: GAKNNBaseline(
+            k=config.knn_neighbours, ga_config=config.ga_config(), seed=config.seed
+        ),
+    }

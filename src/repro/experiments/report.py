@@ -1,0 +1,136 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as tables and bar charts; in an offline,
+dependency-light reproduction the equivalent artefact is a text report that
+prints the same rows and series.  These helpers are used by the CLI
+(``repro-experiments``) and by EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures67 import FigureSeries
+from repro.experiments.figure8 import Figure8Result
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result
+from repro.experiments.table3 import ERAS, PAPER_TABLE3, Table3Result
+from repro.experiments.table4 import PAPER_TABLE4, Table4Result
+
+__all__ = [
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_figure_series",
+    "format_figure8",
+]
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the Table 2 comparison, side by side with the paper's numbers."""
+    lines = [
+        "Table 2 - processor-family cross-validation "
+        f"({result.n_splits} splits x {result.n_applications} applications)",
+        _rule(),
+        f"{'method':<10} {'rank corr.':>18} {'top-1 error %':>18} {'mean error %':>18}",
+        _rule(),
+    ]
+    for method, summary in result.summaries.items():
+        lines.append(
+            f"{method:<10} {summary.rank_correlation.as_paper_cell():>18} "
+            f"{summary.top1_error.as_paper_cell():>18} {summary.mean_error.as_paper_cell():>18}"
+        )
+    lines.append(_rule())
+    lines.append("paper reports (mean (worst)):")
+    for method, metrics in PAPER_TABLE2.items():
+        rank = metrics["rank_correlation"]
+        top1 = metrics["top1_error"]
+        mean = metrics["mean_error"]
+        lines.append(
+            f"{method:<10} {f'{rank[0]:.2f} ({rank[1]:.2f})':>18} "
+            f"{f'{top1[0]:.2f} ({top1[1]:.2f})':>18} {f'{mean[0]:.2f} ({mean[1]:.2f})':>18}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(result: Table3Result) -> str:
+    """Render the Table 3 future-machine comparison."""
+    lines = ["Table 3 - predicting the 2009 machines from older predictive sets", _rule()]
+    for era in ERAS:
+        lines.append(f"predictive set: {era} ({result.splits[era].n_predictive} machines)")
+        for method, summary in result.summaries[era].items():
+            lines.append(
+                f"  {method:<10} rank {summary.rank_correlation.as_paper_cell():>14}  "
+                f"top-1 {summary.top1_error.as_paper_cell():>16}  "
+                f"mean {summary.mean_error.as_paper_cell():>16}"
+            )
+    lines.append(_rule())
+    lines.append("paper reports (mean rank correlation): "
+                 + ", ".join(
+                     f"{method} {era}: {PAPER_TABLE3[method][era]['rank_correlation'][0]:.2f}"
+                     for method in PAPER_TABLE3
+                     for era in ERAS
+                 ))
+    return "\n".join(lines)
+
+
+def format_table4(result: Table4Result) -> str:
+    """Render the Table 4 limited-predictive-set comparison."""
+    lines = ["Table 4 - limited number of predictive machines (2008 -> 2009)", _rule()]
+    for size in sorted(result.summaries, reverse=True):
+        lines.append(f"predictive subset size: {size}")
+        for method, summary in result.summaries[size].items():
+            lines.append(
+                f"  {method:<10} rank {summary.rank_correlation.mean:>6.2f}  "
+                f"top-1 {summary.top1_error.mean:>8.2f}  mean {summary.mean_error.mean:>8.2f}"
+            )
+    lines.append(_rule())
+    lines.append("paper reports (mean rank correlation): "
+                 + ", ".join(
+                     f"{method} @{size}: {PAPER_TABLE4[method][size]['rank_correlation']:.2f}"
+                     for method in PAPER_TABLE4
+                     for size in (10, 5, 3)
+                 ))
+    return "\n".join(lines)
+
+
+def format_figure_series(series: FigureSeries, title: str, higher_is_better: bool) -> str:
+    """Render a per-benchmark figure series (Figures 6 and 7)."""
+    methods = list(series.series)
+    header = f"{'benchmark':<14}" + "".join(f"{method:>12}" for method in methods)
+    lines = [title, _rule(), header, _rule()]
+    for benchmark in series.benchmarks:
+        row = f"{benchmark:<14}"
+        for method in methods:
+            row += f"{series.value(method, benchmark):>12.3f}"
+        lines.append(row)
+    lines.append(_rule())
+    extreme = "Minimum" if higher_is_better else "Maximum"
+    extreme_row = f"{extreme:<14}"
+    average_row = f"{'Average':<14}"
+    for method in methods:
+        value = series.minimum(method) if higher_is_better else series.maximum(method)
+        extreme_row += f"{value:>12.3f}"
+        average_row += f"{series.average(method):>12.3f}"
+    lines.append(extreme_row)
+    lines.append(average_row)
+    return "\n".join(lines)
+
+
+def format_figure8(result: Figure8Result) -> str:
+    """Render the Figure 8 selection comparison."""
+    lines = [
+        "Figure 8 - goodness of fit (R^2) vs number of predictive machines",
+        _rule(),
+        f"{'k':>3} {'k-medoids':>12} {'random':>12} {'advantage':>12}",
+        _rule(),
+    ]
+    for i, size in enumerate(result.sizes):
+        lines.append(
+            f"{size:>3} {result.kmedoids_r2[i]:>12.3f} {result.random_r2[i]:>12.3f} "
+            f"{result.advantage(size):>12.3f}"
+        )
+    lines.append(_rule())
+    lines.append(f"mean advantage of k-medoids over random: {result.mean_advantage():.3f}")
+    return "\n".join(lines)

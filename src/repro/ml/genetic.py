@@ -1,0 +1,155 @@
+"""Real-valued genetic algorithm.
+
+Hoste et al. [4] learn how differences in microarchitecture-independent
+workload characteristics translate into performance differences by running
+a genetic algorithm over per-characteristic weights; the learned weights
+parameterise the distance used by the k-nearest-neighbour predictor.  This
+module provides the GA machinery: tournament selection, blend crossover,
+Gaussian mutation and elitism, all on fixed-length real-valued genomes
+constrained to a box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["GAConfig", "GeneticAlgorithm"]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of the genetic algorithm.
+
+    The defaults are sized for the GA-kNN baseline: genomes of ~10-20 weight
+    genes, a modest population and enough generations to converge on the
+    small training sets used in the paper's cross-validation setup.
+    """
+
+    population_size: int = 40
+    generations: int = 30
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.15
+    mutation_scale: float = 0.25
+    tournament_size: int = 3
+    elitism: int = 2
+    lower_bound: float = 0.0
+    upper_bound: float = 1.0
+
+    def validate(self) -> None:
+        """Raise ValueError if any hyper-parameter is out of range."""
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if self.mutation_scale <= 0.0:
+            raise ValueError("mutation_scale must be positive")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+        if self.elitism < 0 or self.elitism >= self.population_size:
+            raise ValueError("elitism must be in [0, population_size)")
+        if self.upper_bound <= self.lower_bound:
+            raise ValueError("upper_bound must exceed lower_bound")
+
+
+class GeneticAlgorithm:
+    """Minimising GA over fixed-length real genomes in a box.
+
+    Parameters
+    ----------
+    genome_length:
+        Number of genes (one weight per workload characteristic in GA-kNN).
+    fitness:
+        Callable mapping a genome (1-D array) to a cost; lower is better.
+    config:
+        Hyper-parameters; defaults are suitable for GA-kNN.
+    seed:
+        Seed for the random generator so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        genome_length: int,
+        fitness: Callable[[np.ndarray], float],
+        config: GAConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if genome_length < 1:
+            raise ValueError("genome_length must be >= 1")
+        self.genome_length = int(genome_length)
+        self.fitness = fitness
+        self.config = config or GAConfig()
+        self.config.validate()
+        self._rng = np.random.default_rng(seed)
+        self.best_genome_: np.ndarray | None = None
+        self.best_fitness_: float = float("inf")
+        self.history_: list[float] = []
+
+    # --------------------------------------------------------------- helpers
+    def _random_population(self) -> np.ndarray:
+        cfg = self.config
+        return self._rng.uniform(
+            cfg.lower_bound,
+            cfg.upper_bound,
+            size=(cfg.population_size, self.genome_length),
+        )
+
+    def _tournament(self, fitnesses: np.ndarray) -> int:
+        contenders = self._rng.integers(0, fitnesses.size, size=self.config.tournament_size)
+        return int(contenders[np.argmin(fitnesses[contenders])])
+
+    def _crossover(self, parent_a: np.ndarray, parent_b: np.ndarray) -> np.ndarray:
+        # Blend (BLX-style) crossover: child genes drawn uniformly between parents.
+        mix = self._rng.uniform(0.0, 1.0, size=self.genome_length)
+        return mix * parent_a + (1.0 - mix) * parent_b
+
+    def _mutate(self, genome: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        mask = self._rng.uniform(size=self.genome_length) < cfg.mutation_rate
+        noise = self._rng.normal(0.0, cfg.mutation_scale, size=self.genome_length)
+        mutated = genome + mask * noise * (cfg.upper_bound - cfg.lower_bound)
+        return np.clip(mutated, cfg.lower_bound, cfg.upper_bound)
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> np.ndarray:
+        """Evolve the population and return the best genome found."""
+        cfg = self.config
+        population = self._random_population()
+        fitnesses = np.array([self.fitness(genome) for genome in population])
+        self.history_ = []
+
+        for _ in range(cfg.generations):
+            best_idx = int(np.argmin(fitnesses))
+            if fitnesses[best_idx] < self.best_fitness_:
+                self.best_fitness_ = float(fitnesses[best_idx])
+                self.best_genome_ = population[best_idx].copy()
+            self.history_.append(self.best_fitness_)
+
+            elite_order = np.argsort(fitnesses, kind="mergesort")[: cfg.elitism]
+            next_population = [population[i].copy() for i in elite_order]
+
+            while len(next_population) < cfg.population_size:
+                parent_a = population[self._tournament(fitnesses)]
+                parent_b = population[self._tournament(fitnesses)]
+                if self._rng.uniform() < cfg.crossover_rate:
+                    child = self._crossover(parent_a, parent_b)
+                else:
+                    child = parent_a.copy()
+                next_population.append(self._mutate(child))
+
+            population = np.asarray(next_population)
+            fitnesses = np.array([self.fitness(genome) for genome in population])
+
+        best_idx = int(np.argmin(fitnesses))
+        if fitnesses[best_idx] < self.best_fitness_:
+            self.best_fitness_ = float(fitnesses[best_idx])
+            self.best_genome_ = population[best_idx].copy()
+        self.history_.append(self.best_fitness_)
+        assert self.best_genome_ is not None
+        return self.best_genome_

@@ -1,0 +1,117 @@
+"""k-nearest-neighbour regression.
+
+The GA-kNN baseline (Hoste et al. [4]) predicts the performance of the
+application of interest on a target machine as a (distance-weighted)
+average of the performance of its k = 10 most similar benchmarks on that
+machine, where similarity is a weighted Euclidean distance in the
+microarchitecture-independent characteristic space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["KNNRegressor"]
+
+
+class KNNRegressor:
+    """Weighted k-nearest-neighbour regression.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours (the paper uses k = 10 for GA-kNN).
+    weighting:
+        ``"uniform"`` averages the k neighbour targets; ``"distance"``
+        weights each neighbour by the inverse of its distance, which is what
+        makes predictions degrade gracefully when the query point is far
+        from every training point.
+    feature_weights:
+        Optional non-negative per-feature weights applied inside the
+        Euclidean distance (the quantity the genetic algorithm optimises).
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        weighting: str = "distance",
+        feature_weights: Sequence[float] | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if weighting not in {"uniform", "distance"}:
+            raise ValueError("weighting must be 'uniform' or 'distance'")
+        self.k = int(k)
+        self.weighting = weighting
+        self.feature_weights = (
+            None if feature_weights is None else np.asarray(feature_weights, dtype=float)
+        )
+        if self.feature_weights is not None and np.any(self.feature_weights < 0):
+            raise ValueError("feature weights must be non-negative")
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, features: Sequence[Sequence[float]], targets: Sequence[float]) -> "KNNRegressor":
+        """Store the training points (kNN is a lazy learner)."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("features must be a 2-D array (samples, features)")
+        if y.ndim != 1 or y.size != x.shape[0]:
+            raise ValueError("targets must be 1-D with one entry per sample")
+        if self.feature_weights is not None and self.feature_weights.size != x.shape[1]:
+            raise ValueError("feature_weights length must match the number of features")
+        self._x = x
+        self._y = y
+        return self
+
+    def _distances(self, query: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        diff = self._x - query
+        if self.feature_weights is not None:
+            sq = (self.feature_weights * diff**2).sum(axis=1)
+        else:
+            sq = (diff**2).sum(axis=1)
+        return np.sqrt(np.clip(sq, 0.0, None))
+
+    def predict_one(self, query: Sequence[float]) -> float:
+        """Predict the target value for a single query point."""
+        if self._x is None or self._y is None:
+            raise RuntimeError("predict called before fit")
+        q = np.asarray(query, dtype=float)
+        if q.shape != (self._x.shape[1],):
+            raise ValueError(
+                f"query has {q.shape} features, expected ({self._x.shape[1]},)"
+            )
+        distances = self._distances(q)
+        k = min(self.k, distances.size)
+        neighbour_idx = np.argsort(distances, kind="mergesort")[:k]
+        neighbour_targets = self._y[neighbour_idx]
+        if self.weighting == "uniform":
+            return float(neighbour_targets.mean())
+        neighbour_dist = distances[neighbour_idx]
+        if np.any(neighbour_dist == 0.0):
+            # Exact matches dominate: average the targets of all exact matches.
+            exact = neighbour_targets[neighbour_dist == 0.0]
+            return float(exact.mean())
+        weights = 1.0 / neighbour_dist
+        return float((weights * neighbour_targets).sum() / weights.sum())
+
+    def predict(self, queries: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predict target values for each query row."""
+        matrix = np.asarray(queries, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        return np.array([self.predict_one(row) for row in matrix])
+
+    def kneighbors(self, query: Sequence[float], k: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return (indices, distances) of the *k* nearest training points."""
+        if self._x is None:
+            raise RuntimeError("kneighbors called before fit")
+        q = np.asarray(query, dtype=float)
+        distances = self._distances(q)
+        count = min(k or self.k, distances.size)
+        idx = np.argsort(distances, kind="mergesort")[:count]
+        return idx, distances[idx]

@@ -1,0 +1,151 @@
+"""Linear regression models.
+
+The NNᵀ flavour of data transposition (Section 3.2.1 of the paper) fits a
+*simple* linear regression — one predictive machine's scores as the single
+regressor — for every (target machine, predictive machine) pair and keeps
+the best-fitting model.  :class:`SimpleLinearRegression` implements exactly
+that closed-form univariate fit; :class:`LinearRegression` and
+:class:`RidgeRegression` provide the general multivariate versions used by
+baselines and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SimpleLinearRegression", "LinearRegression", "RidgeRegression"]
+
+
+class SimpleLinearRegression:
+    """Univariate least-squares fit ``y = slope * x + intercept``.
+
+    Exposes the residual sum of squares and R² so the NNᵀ predictor can pick
+    the predictive machine whose scores best explain the target machine's
+    scores.
+    """
+
+    def __init__(self) -> None:
+        self.slope_: float | None = None
+        self.intercept_: float | None = None
+        self.r_squared_: float | None = None
+        self.residual_sum_of_squares_: float | None = None
+
+    def fit(self, x: Sequence[float], y: Sequence[float]) -> "SimpleLinearRegression":
+        """Fit the line through the (x, y) observations by least squares."""
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        if xa.ndim != 1 or ya.ndim != 1:
+            raise ValueError("SimpleLinearRegression expects 1-D inputs")
+        if xa.size != ya.size:
+            raise ValueError(f"length mismatch: {xa.size} vs {ya.size}")
+        if xa.size < 2:
+            raise ValueError("need at least two observations to fit a line")
+        x_mean = xa.mean()
+        y_mean = ya.mean()
+        sxx = float(((xa - x_mean) ** 2).sum())
+        sxy = float(((xa - x_mean) * (ya - y_mean)).sum())
+        if sxx == 0.0:
+            # A constant regressor carries no information; predict the mean.
+            self.slope_ = 0.0
+            self.intercept_ = float(y_mean)
+        else:
+            self.slope_ = sxy / sxx
+            self.intercept_ = float(y_mean - self.slope_ * x_mean)
+        predictions = self.slope_ * xa + self.intercept_
+        ss_res = float(((ya - predictions) ** 2).sum())
+        ss_tot = float(((ya - y_mean) ** 2).sum())
+        self.residual_sum_of_squares_ = ss_res
+        self.r_squared_ = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+        return self
+
+    def predict(self, x: Sequence[float] | float) -> np.ndarray | float:
+        """Predict y for scalar or vector x."""
+        if self.slope_ is None or self.intercept_ is None:
+            raise RuntimeError("predict called before fit")
+        if np.isscalar(x):
+            return float(self.slope_ * float(x) + self.intercept_)
+        xa = np.asarray(x, dtype=float)
+        return self.slope_ * xa + self.intercept_
+
+
+class LinearRegression:
+    """Ordinary least-squares multivariate regression with intercept."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    @staticmethod
+    def _design(features: np.ndarray, fit_intercept: bool) -> np.ndarray:
+        if fit_intercept:
+            ones = np.ones((features.shape[0], 1))
+            return np.hstack([ones, features])
+        return features
+
+    def fit(self, features: Sequence[Sequence[float]], targets: Sequence[float]) -> "LinearRegression":
+        """Fit coefficients by solving the least-squares normal equations."""
+        matrix = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("features must be a 2-D array (samples, features)")
+        if y.ndim != 1 or y.size != matrix.shape[0]:
+            raise ValueError("targets must be 1-D with one entry per sample")
+        design = self._design(matrix, self.fit_intercept)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predict targets for new feature rows."""
+        if self.coef_ is None:
+            raise RuntimeError("predict called before fit")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        return matrix @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularised linear regression.
+
+    Useful when the number of predictive machines approaches the number of
+    benchmarks used for training (28 after leave-one-out), where plain OLS
+    becomes ill-conditioned.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        super().__init__(fit_intercept=fit_intercept)
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def fit(self, features: Sequence[Sequence[float]], targets: Sequence[float]) -> "RidgeRegression":
+        """Fit coefficients by solving the regularised normal equations."""
+        matrix = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("features must be a 2-D array (samples, features)")
+        if y.ndim != 1 or y.size != matrix.shape[0]:
+            raise ValueError("targets must be 1-D with one entry per sample")
+        design = self._design(matrix, self.fit_intercept)
+        n_params = design.shape[1]
+        penalty = self.alpha * np.eye(n_params)
+        if self.fit_intercept:
+            penalty[0, 0] = 0.0  # never shrink the intercept
+        gram = design.T @ design + penalty
+        solution = np.linalg.solve(gram, design.T @ y)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self

@@ -1,0 +1,117 @@
+"""Model-selection helpers: data splitting and grid search.
+
+The paper's evaluation is built on two cross-validation ideas — removing the
+target processor family from the training data and leaving one benchmark out
+as the application of interest.  Those domain-specific splitters live in
+:mod:`repro.data.splits`; this module provides the generic machinery
+(shuffled train/test split, K-fold indices, exhaustive grid search) used by
+the ablation benches and by hyper-parameter sanity checks in the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["train_test_split", "KFold", "GridSearch"]
+
+
+def train_test_split(
+    n_samples: int, test_fraction: float = 0.25, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return shuffled (train_indices, test_indices) for *n_samples* items."""
+    if n_samples < 2:
+        raise ValueError("need at least two samples to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n_samples)
+    n_test = max(1, int(round(n_samples * test_fraction)))
+    n_test = min(n_test, n_samples - 1)
+    return permutation[n_test:], permutation[:n_test]
+
+
+class KFold:
+    """Deterministic K-fold index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) pairs covering all samples."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+@dataclass
+class GridSearchResult:
+    """Best hyper-parameters found by :class:`GridSearch` and all scores."""
+
+    best_params: dict
+    best_score: float
+    all_scores: list[tuple[dict, float]]
+
+
+class GridSearch:
+    """Exhaustive search over a hyper-parameter grid.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable mapping a parameter dict to a scalar score.
+    param_grid:
+        Mapping from parameter name to the candidate values to try.
+    maximize:
+        Whether larger scores are better (e.g. R²) or smaller (e.g. error).
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[Mapping[str, object]], float],
+        param_grid: Mapping[str, Sequence[object]],
+        maximize: bool = True,
+    ) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must contain at least one parameter")
+        self.evaluate = evaluate
+        self.param_grid = {key: list(values) for key, values in param_grid.items()}
+        for key, values in self.param_grid.items():
+            if not values:
+                raise ValueError(f"parameter {key!r} has no candidate values")
+        self.maximize = bool(maximize)
+
+    def run(self) -> GridSearchResult:
+        """Evaluate every grid point and return the best configuration."""
+        names = list(self.param_grid)
+        combos = itertools.product(*(self.param_grid[name] for name in names))
+        all_scores: list[tuple[dict, float]] = []
+        best_params: dict | None = None
+        best_score = -np.inf if self.maximize else np.inf
+        for combo in combos:
+            params = dict(zip(names, combo))
+            score = float(self.evaluate(params))
+            all_scores.append((params, score))
+            better = score > best_score if self.maximize else score < best_score
+            if better:
+                best_score = score
+                best_params = params
+        assert best_params is not None
+        return GridSearchResult(best_params=best_params, best_score=best_score, all_scores=all_scores)

@@ -1,0 +1,112 @@
+"""Feature scaling.
+
+Both the MLPᵀ predictor and the GA-kNN baseline operate on features with
+very different dynamic ranges (SPEC ratios span roughly 1-60, workload
+characteristics span fractions to millions).  The scalers here follow the
+familiar fit/transform interface so they compose with the predictors in
+:mod:`repro.core` and :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Scale features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but not scaled, so
+    transforming never divides by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation from *data*."""
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("StandardScaler expects a 2-D array of shape (samples, features)")
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on zero samples")
+        self.mean_ = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Standardise *data* using the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.transform called before fit")
+        matrix = np.asarray(data, dtype=float)
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on *data* then return its standardised version."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map standardised values back to the original feature space."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.inverse_transform called before fit")
+        matrix = np.asarray(data, dtype=float)
+        return matrix * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into a fixed range (default [0, 1]).
+
+    WEKA's MultilayerPerceptron normalises attributes into [-1, 1] by
+    default; the MLPᵀ predictor uses this scaler with that range to match.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        low, high = feature_range
+        if high <= low:
+            raise ValueError("feature_range upper bound must exceed the lower bound")
+        self.feature_range = (float(low), float(high))
+        self.min_: np.ndarray | None = None
+        self.max_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature minima and maxima from *data*."""
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("MinMaxScaler expects a 2-D array of shape (samples, features)")
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on zero samples")
+        self.min_ = matrix.min(axis=0)
+        self.max_ = matrix.max(axis=0)
+        return self
+
+    def _span(self) -> np.ndarray:
+        assert self.min_ is not None and self.max_ is not None
+        span = self.max_ - self.min_
+        span[span == 0.0] = 1.0
+        return span
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Rescale *data* into the configured feature range."""
+        if self.min_ is None or self.max_ is None:
+            raise RuntimeError("MinMaxScaler.transform called before fit")
+        matrix = np.asarray(data, dtype=float)
+        low, high = self.feature_range
+        unit = (matrix - self.min_) / self._span()
+        return unit * (high - low) + low
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on *data* then return its rescaled version."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map values in the configured range back to the original space."""
+        if self.min_ is None or self.max_ is None:
+            raise RuntimeError("MinMaxScaler.inverse_transform called before fit")
+        matrix = np.asarray(data, dtype=float)
+        low, high = self.feature_range
+        unit = (matrix - low) / (high - low)
+        return unit * self._span() + self.min_

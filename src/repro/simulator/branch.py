@@ -1,0 +1,39 @@
+"""Branch-predictor model.
+
+The misprediction rate of a workload on a machine is the product of the
+workload's inherent branch entropy (how hard its branch stream is to
+predict) and the machine's predictor quality.  Each misprediction costs a
+pipeline refill, so the penalty per instruction is::
+
+    branch_fraction * misprediction_rate * pipeline_depth
+
+which is the standard first-order interval-analysis term.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.microarch import MicroarchConfig
+from repro.simulator.workload import WorkloadCharacteristics
+
+__all__ = ["BranchPredictorModel"]
+
+
+class BranchPredictorModel:
+    """First-order branch misprediction cost model."""
+
+    #: Even a random branch stream is predicted correctly about half the
+    #: time by always-taken style fallbacks, so the worst-case rate is 0.5.
+    MAX_MISPREDICTION_RATE = 0.5
+
+    def __init__(self, machine: MicroarchConfig) -> None:
+        self.machine = machine
+
+    def misprediction_rate(self, workload: WorkloadCharacteristics) -> float:
+        """Mispredictions per executed branch, in [0, 0.5]."""
+        raw = workload.branch_entropy * (1.0 - self.machine.branch_predictor_quality) * 2.5
+        return float(min(raw, self.MAX_MISPREDICTION_RATE))
+
+    def penalty_cycles_per_instruction(self, workload: WorkloadCharacteristics) -> float:
+        """Average pipeline-refill cycles charged to every instruction."""
+        per_branch = self.misprediction_rate(workload) * self.machine.pipeline_depth
+        return float(workload.branch_fraction * per_branch)

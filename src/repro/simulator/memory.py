@@ -1,0 +1,64 @@
+"""DRAM model.
+
+Off-chip accesses cost the machine's DRAM latency, but out-of-order cores
+overlap independent misses: the effective penalty is the raw latency divided
+by the exploitable memory-level parallelism, which is limited both by the
+workload (how many independent misses exist) and by the machine (how many
+the re-order buffer can keep in flight).  A bandwidth term adds queueing
+delay when the demanded bandwidth approaches what the memory system
+sustains — this is what separates bandwidth-starved FSB-era Xeons from
+integrated-memory-controller parts on streaming workloads such as lbm,
+libquantum and leslie3d.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.microarch import MicroarchConfig
+from repro.simulator.workload import WorkloadCharacteristics
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Latency/bandwidth model for accesses that miss the whole hierarchy."""
+
+    #: Cache line size in bytes, used to convert miss rates into bandwidth.
+    LINE_BYTES = 64
+
+    def __init__(self, machine: MicroarchConfig) -> None:
+        self.machine = machine
+
+    def exploitable_mlp(self, workload: WorkloadCharacteristics) -> float:
+        """Memory-level parallelism the machine can actually exploit.
+
+        The workload offers ``memory_level_parallelism`` independent misses;
+        the machine sustains roughly one outstanding miss per 32 ROB entries.
+        """
+        machine_limit = max(1.0, self.machine.rob_size / 32.0)
+        return float(min(workload.memory_level_parallelism, machine_limit))
+
+    def bandwidth_pressure(self, workload: WorkloadCharacteristics, miss_fraction: float) -> float:
+        """Queueing multiplier >= 1 reflecting bandwidth saturation.
+
+        Demanded bandwidth is estimated from the miss traffic at the
+        machine's nominal IPC of 1; the multiplier grows smoothly as demand
+        approaches the sustainable bandwidth.
+        """
+        misses_per_instruction = workload.memory_fraction * miss_fraction
+        # bytes per second at 1 IPC: misses/instr * line size * freq (GHz -> 1e9 instr/s)
+        demanded_gbs = misses_per_instruction * self.LINE_BYTES * self.machine.frequency_ghz
+        utilisation = demanded_gbs / self.machine.mem_bandwidth_gbs
+        # Queueing delay grows with utilisation but saturates: contention makes
+        # a starved memory system a few times slower, not orders of magnitude.
+        return float(1.0 + 3.0 * utilisation / (1.0 + utilisation))
+
+    def penalty_cycles_per_instruction(
+        self, workload: WorkloadCharacteristics, miss_fraction: float
+    ) -> float:
+        """Average DRAM stall cycles charged to every instruction."""
+        if miss_fraction <= 0.0:
+            return 0.0
+        latency_cycles = self.machine.memory_latency_cycles()
+        effective_latency = latency_cycles / self.exploitable_mlp(workload)
+        effective_latency *= self.bandwidth_pressure(workload, miss_fraction)
+        return float(workload.memory_fraction * miss_fraction * effective_latency)

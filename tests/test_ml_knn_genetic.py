@@ -1,0 +1,208 @@
+"""Tests for repro.ml.knn, repro.ml.genetic and repro.ml.distances."""
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    GAConfig,
+    GeneticAlgorithm,
+    KNNRegressor,
+    euclidean_distance,
+    manhattan_distance,
+    pairwise_distances,
+    weighted_euclidean_distance,
+)
+
+
+# --------------------------------------------------------------------- knn
+def test_knn_exact_match_returns_training_target():
+    x = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+    y = np.array([10.0, 20.0, 30.0])
+    model = KNNRegressor(k=2).fit(x, y)
+    assert model.predict_one([1.0, 1.0]) == pytest.approx(20.0)
+
+
+def test_knn_uniform_average():
+    x = np.array([[0.0], [1.0], [10.0]])
+    y = np.array([0.0, 2.0, 100.0])
+    model = KNNRegressor(k=2, weighting="uniform").fit(x, y)
+    assert model.predict_one([0.4]) == pytest.approx(1.0)
+
+
+def test_knn_distance_weighting_prefers_closer_points():
+    x = np.array([[0.0], [1.0]])
+    y = np.array([0.0, 10.0])
+    model = KNNRegressor(k=2, weighting="distance").fit(x, y)
+    prediction = model.predict_one([0.1])
+    assert prediction < 5.0
+
+
+def test_knn_k_larger_than_training_set_is_clamped():
+    x = np.array([[0.0], [1.0]])
+    y = np.array([0.0, 10.0])
+    model = KNNRegressor(k=10, weighting="uniform").fit(x, y)
+    assert model.predict_one([0.5]) == pytest.approx(5.0)
+
+
+def test_knn_feature_weights_change_neighbours():
+    x = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    y = np.array([0.0, 1.0, 2.0])
+    # zero weight on second feature makes [0, 1] identical to [0, 0]
+    model = KNNRegressor(k=1, feature_weights=[1.0, 0.0]).fit(x, y)
+    idx, _ = model.kneighbors([0.0, 0.9], k=1)
+    assert idx[0] in (0, 2)
+
+
+def test_knn_predict_matrix_shape():
+    x = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([0.0, 1.0, 2.0])
+    model = KNNRegressor(k=1).fit(x, y)
+    predictions = model.predict([[0.1], [1.9]])
+    assert predictions.shape == (2,)
+    assert predictions[0] == pytest.approx(0.0)
+    assert predictions[1] == pytest.approx(2.0)
+
+
+def test_knn_rejects_invalid_configuration():
+    with pytest.raises(ValueError):
+        KNNRegressor(k=0)
+    with pytest.raises(ValueError):
+        KNNRegressor(weighting="nope")
+    with pytest.raises(ValueError):
+        KNNRegressor(feature_weights=[-1.0])
+
+
+def test_knn_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        KNNRegressor().predict_one([1.0])
+
+
+def test_knn_query_dimension_mismatch_raises():
+    model = KNNRegressor(k=1).fit([[1.0, 2.0]], [1.0])
+    with pytest.raises(ValueError):
+        model.predict_one([1.0])
+
+
+# --------------------------------------------------------------- distances
+def test_euclidean_and_manhattan_basics():
+    assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+    assert manhattan_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+
+def test_weighted_euclidean_ignores_zero_weight_dimensions():
+    distance = weighted_euclidean_distance([0.0, 0.0], [3.0, 100.0], [1.0, 0.0])
+    assert distance == pytest.approx(3.0)
+
+
+def test_weighted_euclidean_rejects_negative_weights():
+    with pytest.raises(ValueError):
+        weighted_euclidean_distance([0.0], [1.0], [-1.0])
+
+
+def test_pairwise_distances_symmetric_zero_diagonal():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(10, 4))
+    distances = pairwise_distances(points)
+    assert np.allclose(distances, distances.T)
+    assert np.allclose(np.diag(distances), 0.0)
+
+
+def test_pairwise_distances_match_explicit_computation():
+    points = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+    distances = pairwise_distances(points)
+    assert distances[0, 1] == pytest.approx(5.0)
+    assert distances[0, 2] == pytest.approx(10.0)
+    manhattan = pairwise_distances(points, metric="manhattan")
+    assert manhattan[0, 1] == pytest.approx(7.0)
+
+
+def test_pairwise_distances_rejects_unknown_metric():
+    with pytest.raises(ValueError):
+        pairwise_distances([[0.0]], metric="cosine")
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=3),
+        min_size=2,
+        max_size=15,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_pairwise_distances_triangle_inequality(points):
+    distances = pairwise_distances(points)
+    n = distances.shape[0]
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert distances[i, j] <= distances[i, k] + distances[k, j] + 1e-6
+
+
+# ----------------------------------------------------------------- genetic
+def test_ga_minimises_sphere_function():
+    ga = GeneticAlgorithm(
+        genome_length=4,
+        fitness=lambda genome: float((genome**2).sum()),
+        config=GAConfig(population_size=30, generations=40, lower_bound=-1.0, upper_bound=1.0),
+        seed=0,
+    )
+    best = ga.run()
+    assert ga.best_fitness_ < 0.05
+    assert np.all(np.abs(best) < 0.5)
+
+
+def test_ga_history_is_monotonically_nonincreasing():
+    ga = GeneticAlgorithm(
+        genome_length=3,
+        fitness=lambda genome: float(((genome - 0.5) ** 2).sum()),
+        config=GAConfig(population_size=20, generations=20),
+        seed=1,
+    )
+    ga.run()
+    history = np.asarray(ga.history_)
+    assert np.all(np.diff(history) <= 1e-12)
+
+
+def test_ga_respects_bounds():
+    config = GAConfig(population_size=15, generations=10, lower_bound=0.2, upper_bound=0.8)
+    ga = GeneticAlgorithm(3, lambda genome: float(genome.sum()), config, seed=2)
+    best = ga.run()
+    assert np.all(best >= 0.2 - 1e-12)
+    assert np.all(best <= 0.8 + 1e-12)
+
+
+def test_ga_deterministic_given_seed():
+    def fitness(genome):
+        return float(((genome - 0.3) ** 2).sum())
+
+    config = GAConfig(population_size=12, generations=8)
+    a = GeneticAlgorithm(3, fitness, config, seed=5).run()
+    b = GeneticAlgorithm(3, fitness, config, seed=5).run()
+    assert np.array_equal(a, b)
+
+
+def test_ga_config_validation():
+    with pytest.raises(ValueError):
+        GAConfig(population_size=1).validate()
+    with pytest.raises(ValueError):
+        GAConfig(generations=0).validate()
+    with pytest.raises(ValueError):
+        GAConfig(crossover_rate=1.5).validate()
+    with pytest.raises(ValueError):
+        GAConfig(mutation_rate=-0.1).validate()
+    with pytest.raises(ValueError):
+        GAConfig(mutation_scale=0.0).validate()
+    with pytest.raises(ValueError):
+        GAConfig(tournament_size=0).validate()
+    with pytest.raises(ValueError):
+        GAConfig(elitism=40, population_size=40).validate()
+    with pytest.raises(ValueError):
+        GAConfig(lower_bound=1.0, upper_bound=0.0).validate()
+
+
+def test_ga_rejects_zero_length_genome():
+    with pytest.raises(ValueError):
+        GeneticAlgorithm(0, lambda genome: 0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.ml.linreg."""
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import LinearRegression, RidgeRegression, SimpleLinearRegression
+
+
+def test_simple_linreg_recovers_exact_line():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    y = 2.5 * x + 1.0
+    model = SimpleLinearRegression().fit(x, y)
+    assert model.slope_ == pytest.approx(2.5)
+    assert model.intercept_ == pytest.approx(1.0)
+    assert model.r_squared_ == pytest.approx(1.0)
+    assert model.residual_sum_of_squares_ == pytest.approx(0.0, abs=1e-9)
+
+
+def test_simple_linreg_predict_scalar_and_vector():
+    model = SimpleLinearRegression().fit([0.0, 1.0], [1.0, 3.0])
+    assert model.predict(2.0) == pytest.approx(5.0)
+    assert np.allclose(model.predict([0.0, 2.0]), [1.0, 5.0])
+
+
+def test_simple_linreg_constant_regressor_predicts_mean():
+    model = SimpleLinearRegression().fit([2.0, 2.0, 2.0], [1.0, 5.0, 9.0])
+    assert model.slope_ == 0.0
+    assert model.predict(100.0) == pytest.approx(5.0)
+
+
+def test_simple_linreg_noisy_r_squared_below_one():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 10, 50)
+    y = 3.0 * x + rng.normal(scale=2.0, size=50)
+    model = SimpleLinearRegression().fit(x, y)
+    assert 0.8 < model.r_squared_ < 1.0
+
+
+def test_simple_linreg_requires_two_points():
+    with pytest.raises(ValueError):
+        SimpleLinearRegression().fit([1.0], [2.0])
+
+
+def test_simple_linreg_length_mismatch():
+    with pytest.raises(ValueError):
+        SimpleLinearRegression().fit([1.0, 2.0], [1.0])
+
+
+def test_simple_linreg_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        SimpleLinearRegression().predict(1.0)
+
+
+def test_multivariate_ols_recovers_coefficients():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(100, 3))
+    true_coef = np.array([1.5, -2.0, 0.5])
+    y = x @ true_coef + 4.0
+    model = LinearRegression().fit(x, y)
+    assert np.allclose(model.coef_, true_coef, atol=1e-8)
+    assert model.intercept_ == pytest.approx(4.0)
+
+
+def test_ols_without_intercept():
+    x = np.array([[1.0], [2.0], [3.0]])
+    y = np.array([2.0, 4.0, 6.0])
+    model = LinearRegression(fit_intercept=False).fit(x, y)
+    assert model.intercept_ == 0.0
+    assert model.coef_[0] == pytest.approx(2.0)
+
+
+def test_ols_predict_single_row():
+    model = LinearRegression().fit([[0.0], [1.0]], [1.0, 3.0])
+    assert model.predict([2.0])[0] == pytest.approx(5.0)
+
+
+def test_ols_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        LinearRegression().fit([1.0, 2.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        LinearRegression().fit([[1.0], [2.0]], [1.0, 2.0, 3.0])
+
+
+def test_ols_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        LinearRegression().predict([[1.0]])
+
+
+def test_ridge_shrinks_coefficients():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(40, 5))
+    y = x @ np.array([3.0, -1.0, 2.0, 0.0, 1.0]) + rng.normal(scale=0.1, size=40)
+    ols = LinearRegression().fit(x, y)
+    ridge = RidgeRegression(alpha=50.0).fit(x, y)
+    assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+
+def test_ridge_alpha_zero_matches_ols():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(30, 2))
+    y = x @ np.array([1.0, 2.0]) + 0.5
+    ols = LinearRegression().fit(x, y)
+    ridge = RidgeRegression(alpha=0.0).fit(x, y)
+    assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+    assert ridge.intercept_ == pytest.approx(ols.intercept_)
+
+
+def test_ridge_rejects_negative_alpha():
+    with pytest.raises(ValueError):
+        RidgeRegression(alpha=-1.0)
+
+
+def test_ridge_does_not_shrink_intercept():
+    x = np.array([[0.0], [0.0], [0.0], [0.0]])
+    y = np.array([10.0, 10.0, 10.0, 10.0])
+    ridge = RidgeRegression(alpha=100.0).fit(x, y)
+    assert ridge.intercept_ == pytest.approx(10.0)
+
+
+@given(
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-10, max_value=10),
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=30, unique=True),
+)
+@settings(max_examples=60, deadline=None)
+def test_simple_linreg_exact_recovery_property(slope, intercept, xs):
+    x = np.asarray(xs)
+    y = slope * x + intercept
+    model = SimpleLinearRegression().fit(x, y)
+    assert model.predict(x) == pytest.approx(y, abs=1e-6)
