@@ -1,5 +1,12 @@
 """Core: the data-transposition method and its evaluation pipeline."""
 
+from repro.core.batch import (
+    BatchedLinearTransposition,
+    BatchedMLPTransposition,
+    BatchedRankingMethod,
+    SplitContext,
+    supports_batched_prediction,
+)
 from repro.core.linear_predictor import LinearFitDetail, LinearTranspositionPredictor
 from repro.core.mlp_predictor import MLPTranspositionPredictor
 from repro.core.ranking import MachineRanking, RankingComparison, compare_rankings
@@ -23,6 +30,9 @@ from repro.core.pipeline import (
 )
 
 __all__ = [
+    "BatchedLinearTransposition",
+    "BatchedMLPTransposition",
+    "BatchedRankingMethod",
     "CellResult",
     "DataTransposition",
     "LinearFitDetail",
@@ -33,6 +43,7 @@ __all__ = [
     "MethodSummary",
     "RankingComparison",
     "RankingMethod",
+    "SplitContext",
     "TranspositionMethod",
     "TranspositionPredictor",
     "TranspositionResult",
@@ -40,6 +51,7 @@ __all__ = [
     "compare_rankings",
     "machine_feature_matrix",
     "run_cross_validation",
+    "supports_batched_prediction",
     "select_farthest_point",
     "select_k_medoids",
     "select_random",

@@ -9,16 +9,25 @@ the target machine.
 
 The per-pair univariate fits have a closed form, so the whole
 (targets x predictive) grid of regressions is computed with a handful of
-matrix operations rather than an explicit double loop.
+matrix operations rather than an explicit double loop, and the best-fit
+selection uses a vectorised ``argpartition`` over the whole grid at once.
+
+For the leave-one-out evaluation, :meth:`LinearTranspositionPredictor.
+predict_leave_one_out` goes one step further: the sufficient statistics
+(``sxx``, ``syy``, ``sxy``) are computed once on the full benchmark set and
+every application's fit is derived by *downdating* them with that
+application's row, instead of re-centering and refitting once per
+application.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-__all__ = ["LinearTranspositionPredictor", "LinearFitDetail"]
+__all__ = ["LinearFitDetail", "LinearTranspositionPredictor"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +39,32 @@ class LinearFitDetail:
     slope: float
     intercept: float
     r_squared: float
+
+
+def _stable_top_k(quality: np.ndarray, k: int) -> np.ndarray:
+    """Per-column indices of the *k* highest-quality rows, in quality order.
+
+    Equivalent to ``np.argsort(-quality, axis=0, kind="mergesort")[:k]``
+    (descending quality, ties broken by lower row index) but built on a
+    vectorised ``argpartition`` so only the k candidates per column are
+    sorted.  Columns with exact quality ties across the partition boundary
+    — where the candidate *set* itself is ambiguous — fall back to the full
+    stable sort, preserving the historical tie-breaking exactly.
+    """
+    n_rows = quality.shape[0]
+    if k >= n_rows:
+        return np.argsort(-quality, axis=0, kind="mergesort")
+    candidates = np.sort(np.argpartition(-quality, k - 1, axis=0)[:k], axis=0)
+    cand_quality = np.take_along_axis(quality, candidates, axis=0)
+    order = np.argsort(-cand_quality, axis=0, kind="mergesort")
+    chosen = np.take_along_axis(candidates, order, axis=0)
+    boundary = cand_quality.min(axis=0)
+    ambiguous = np.nonzero((quality >= boundary).sum(axis=0) > k)[0]
+    if ambiguous.size:
+        chosen[:, ambiguous] = np.argsort(
+            -quality[:, ambiguous], axis=0, kind="mergesort"
+        )[:k]
+    return chosen
 
 
 class LinearTranspositionPredictor:
@@ -58,6 +93,60 @@ class LinearTranspositionPredictor:
         self.top_k = int(top_k)
         self.fit_details_: list[LinearFitDetail] = []
 
+    # ------------------------------------------------------------- internals
+    def _fit_from_statistics(
+        self,
+        sxx: np.ndarray,
+        syy: np.ndarray,
+        sxy: np.ndarray,
+        mean_x: np.ndarray,
+        mean_y: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Slopes, intercepts, residuals and selection quality from (P,)/(T,)/(P,T) stats."""
+        degenerate = sxx <= 0.0
+        safe_sxx = np.where(degenerate, 1.0, sxx)
+        slopes = sxy / safe_sxx[:, None]                          # (P, T)
+        slopes[degenerate, :] = 0.0
+        intercepts = mean_y[None, :] - slopes * mean_x[:, None]
+
+        # Residual sum of squares of each fit: syy - slope * sxy.
+        rss = np.clip(syy[None, :] - slopes * sxy, 0.0, None)     # (P, T)
+
+        if self.selection_criterion == "rss":
+            quality = -rss
+        else:
+            denom = np.sqrt(np.outer(safe_sxx, np.where(syy <= 0.0, 1.0, syy)))
+            quality = np.abs(sxy / denom)
+            quality[degenerate, :] = 0.0
+        return slopes, intercepts, rss, quality
+
+    def _select_predictions(
+        self,
+        slopes: np.ndarray,
+        intercepts: np.ndarray,
+        quality: np.ndarray,
+        app: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k averaged predictions per target, plus the best machine per target."""
+        k = min(self.top_k, slopes.shape[0])
+        chosen = _stable_top_k(quality, k)                        # (k, T)
+        per_machine = (
+            np.take_along_axis(slopes, chosen, axis=0) * app[chosen]
+            + np.take_along_axis(intercepts, chosen, axis=0)
+        )
+        return per_machine.mean(axis=0), chosen[0]
+
+    @staticmethod
+    def _validate(pred: np.ndarray, target: np.ndarray) -> None:
+        if pred.ndim != 2 or target.ndim != 2:
+            raise ValueError("benchmark score matrices must be 2-D")
+        if pred.shape[0] != target.shape[0]:
+            raise ValueError(
+                "predictive and target matrices must cover the same benchmarks: "
+                f"{pred.shape[0]} vs {target.shape[0]}"
+            )
+
+    # ----------------------------------------------------------------- API
     def predict(
         self,
         benchmark_scores_predictive: np.ndarray,
@@ -85,13 +174,7 @@ class LinearTranspositionPredictor:
         pred = np.asarray(benchmark_scores_predictive, dtype=float)
         app = np.asarray(app_scores_predictive, dtype=float)
         target = np.asarray(benchmark_scores_target, dtype=float)
-        if pred.ndim != 2 or target.ndim != 2:
-            raise ValueError("benchmark score matrices must be 2-D")
-        if pred.shape[0] != target.shape[0]:
-            raise ValueError(
-                "predictive and target matrices must cover the same benchmarks: "
-                f"{pred.shape[0]} vs {target.shape[0]}"
-            )
+        self._validate(pred, target)
         if pred.shape[0] < 2:
             raise ValueError("need at least two training benchmarks")
         if app.shape != (pred.shape[1],):
@@ -99,53 +182,102 @@ class LinearTranspositionPredictor:
                 f"app_scores_predictive has shape {app.shape}, expected ({pred.shape[1]},)"
             )
 
-        n_benchmarks, n_predictive = pred.shape
         n_target = target.shape[1]
 
         # Closed-form simple regression for every (predictive, target) pair.
-        pred_centered = pred - pred.mean(axis=0, keepdims=True)
-        target_centered = target - target.mean(axis=0, keepdims=True)
+        mean_x = pred.mean(axis=0)
+        mean_y = target.mean(axis=0)
+        pred_centered = pred - mean_x[None, :]
+        target_centered = target - mean_y[None, :]
         sxx = (pred_centered**2).sum(axis=0)                      # (P,)
         syy = (target_centered**2).sum(axis=0)                    # (T,)
         sxy = pred_centered.T @ target_centered                   # (P, T)
 
-        safe_sxx = np.where(sxx == 0.0, 1.0, sxx)
-        slopes = sxy / safe_sxx[:, None]                          # (P, T)
-        slopes[sxx == 0.0, :] = 0.0
-        intercepts = target.mean(axis=0)[None, :] - slopes * pred.mean(axis=0)[:, None]
+        slopes, intercepts, rss, quality = self._fit_from_statistics(
+            sxx, syy, sxy, mean_x, mean_y
+        )
+        predictions, best = self._select_predictions(slopes, intercepts, quality, app)
 
-        # Residual sum of squares of each fit: syy - slope * sxy.
-        rss = syy[None, :] - slopes * sxy                         # (P, T)
-        rss = np.clip(rss, 0.0, None)
-
-        if self.selection_criterion == "rss":
-            quality = -rss
-        else:
-            denom = np.sqrt(np.outer(safe_sxx, np.where(syy == 0.0, 1.0, syy)))
-            corr = np.abs(sxy / denom)
-            corr[sxx == 0.0, :] = 0.0
-            quality = corr
-
-        predictions = np.empty(n_target, dtype=float)
-        self.fit_details_ = []
-        k = min(self.top_k, n_predictive)
-        for t in range(n_target):
-            order = np.argsort(-quality[:, t], kind="mergesort")
-            chosen = order[:k]
-            per_machine = slopes[chosen, t] * app[chosen] + intercepts[chosen, t]
-            predictions[t] = float(per_machine.mean())
-            best = int(chosen[0])
-            ss_tot = float(syy[t])
-            r_squared = 1.0 if ss_tot == 0.0 else 1.0 - float(rss[best, t]) / ss_tot
-            self.fit_details_.append(
-                LinearFitDetail(
-                    target_index=t,
-                    chosen_predictive_index=best,
-                    slope=float(slopes[best, t]),
-                    intercept=float(intercepts[best, t]),
-                    r_squared=r_squared,
-                )
+        targets = np.arange(n_target)
+        rss_best = rss[best, targets]
+        ss_tot = syy
+        r_squared = np.where(
+            ss_tot == 0.0, 1.0, 1.0 - rss_best / np.where(ss_tot == 0.0, 1.0, ss_tot)
+        )
+        self.fit_details_ = [
+            LinearFitDetail(
+                target_index=int(t),
+                chosen_predictive_index=int(best[t]),
+                slope=float(slopes[best[t], t]),
+                intercept=float(intercepts[best[t], t]),
+                r_squared=float(r_squared[t]),
             )
+            for t in targets
+        ]
+        return predictions
+
+    def predict_leave_one_out(
+        self,
+        benchmark_scores_predictive: np.ndarray,
+        benchmark_scores_target: np.ndarray,
+        rows: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Leave-one-out predictions for benchmark rows in one pass.
+
+        Output row *i* is what :meth:`predict` would return with benchmark
+        ``rows[i]`` as the application of interest (its predictive-machine
+        row as ``app_scores_predictive``) and all other benchmarks as the
+        training set — but instead of re-centering and refitting per
+        application, the full-set sufficient statistics are computed once
+        and each application's fit is derived by a rank-one *downdate* with
+        that application's row.  *rows* defaults to every benchmark.
+        Agreement with the refit path is exact up to floating-point
+        roundoff (~1e-12 relative); the equivalence suite enforces it.
+
+        ``fit_details_`` is not populated by this entry point (there is one
+        fit per application, not one); use :meth:`predict` for diagnostics.
+        """
+        pred = np.asarray(benchmark_scores_predictive, dtype=float)
+        target = np.asarray(benchmark_scores_target, dtype=float)
+        self._validate(pred, target)
+        n_benchmarks = pred.shape[0]
+        if n_benchmarks < 3:
+            raise ValueError(
+                "leave-one-out needs at least three benchmarks "
+                "(two training benchmarks per fit)"
+            )
+        n_target = target.shape[1]
+        row_indices = range(n_benchmarks) if rows is None else [int(r) for r in rows]
+        if any(not 0 <= r < n_benchmarks for r in row_indices):
+            raise ValueError("rows must index benchmark rows")
+
+        # Full-set sufficient statistics, computed once.
+        mean_x = pred.mean(axis=0)                                # (P,)
+        mean_y = target.mean(axis=0)                              # (T,)
+        dx = pred - mean_x[None, :]                               # (B, P)
+        dy = target - mean_y[None, :]                             # (B, T)
+        sxx_full = (dx**2).sum(axis=0)                            # (P,)
+        syy_full = (dy**2).sum(axis=0)                            # (T,)
+        sxy_full = dx.T @ dy                                      # (P, T)
+
+        # Downdating identities for removing row r (sample count B -> B - 1):
+        #   mean' = (B * mean - row_r) / (B - 1)
+        #   S'    = S - B / (B - 1) * (row_r - mean) ** 2   (and the cross term)
+        factor = n_benchmarks / (n_benchmarks - 1.0)
+        predictions = np.empty((len(row_indices), n_target))
+        for i, r in enumerate(row_indices):
+            sxx = np.clip(sxx_full - factor * dx[r] ** 2, 0.0, None)
+            syy = np.clip(syy_full - factor * dy[r] ** 2, 0.0, None)
+            sxy = sxy_full - factor * np.outer(dx[r], dy[r])
+            loo_mean_x = (n_benchmarks * mean_x - pred[r]) / (n_benchmarks - 1)
+            loo_mean_y = (n_benchmarks * mean_y - target[r]) / (n_benchmarks - 1)
+            slopes, intercepts, _, quality = self._fit_from_statistics(
+                sxx, syy, sxy, loo_mean_x, loo_mean_y
+            )
+            predictions[i], _ = self._select_predictions(
+                slopes, intercepts, quality, pred[r]
+            )
+        self.fit_details_ = []
         return predictions
 
     def chosen_predictive_machines(self) -> list[int]:

@@ -39,6 +39,11 @@ class MLPTranspositionPredictor:
         measured by the ablation bench.
     seed:
         Seed for weight initialisation / shuffling, so runs are repeatable.
+    gradient_clip:
+        Per-sample error-signal clip threshold forwarded to
+        :class:`repro.ml.mlp.MLPRegressor`; raise it when tuning
+        ``learning_rate``, since the clip caps the error signal regardless
+        of the step size.
     """
 
     def __init__(
@@ -48,12 +53,14 @@ class MLPTranspositionPredictor:
         learning_rate: float = 0.05,
         momentum: float = 0.2,
         seed: int = 0,
+        gradient_clip: float = MLPRegressor.GRADIENT_CLIP,
     ) -> None:
         self.hidden_units = hidden_units
         self.epochs = int(epochs)
         self.learning_rate = float(learning_rate)
         self.momentum = float(momentum)
         self.seed = int(seed)
+        self.gradient_clip = float(gradient_clip)
         self.model_: MLPRegressor | None = None
 
     def predict(
@@ -95,5 +102,6 @@ class MLPTranspositionPredictor:
             momentum=self.momentum,
             epochs=self.epochs,
             seed=self.seed,
+            gradient_clip=self.gradient_clip,
         ).fit(train_features, train_targets)
         return self.model_.predict(target.T)

@@ -5,17 +5,25 @@ benchmark-level leave-one-out loop of Figure 5, collecting the three paper
 metrics per cell.  Both data-transposition flavours and the GA-kNN baseline
 are driven through the same :class:`RankingMethod` protocol so every table
 and figure of the evaluation is produced by this single driver.
+
+The driver is a *batched* engine: per split it builds the shared working
+set once (:class:`~repro.core.batch.SplitContext`) and, for methods that
+implement :class:`~repro.core.batch.BatchedRankingMethod`, evaluates all
+leave-one-out applications in a single vectorised pass.  Methods without a
+batched entry point fall back to the historical per-cell loop, and an
+opt-in ``n_jobs`` process pool fans the splits out across cores for them.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Mapping, Protocol, Sequence
 
 import numpy as np
 
+from repro.core.batch import TranspositionMethod, supports_batched_prediction
 from repro.core.ranking import MachineRanking, compare_rankings
 from repro.core.results import CellResult, MethodResults
-from repro.core.transposition import DataTransposition, TranspositionPredictor
 from repro.data.spec_dataset import SpecDataset
 from repro.data.splits import MachineSplit
 
@@ -36,38 +44,50 @@ class RankingMethod(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
-class TranspositionMethod:
-    """Adapter exposing :class:`DataTransposition` through the pipeline protocol.
-
-    A fresh predictor is constructed per cell via *predictor_factory* so no
-    state leaks between applications of interest.
-    """
-
-    def __init__(self, predictor_factory, name: str) -> None:
-        self.predictor_factory = predictor_factory
-        self.name = name
-
-    def predict_application_scores(
-        self,
-        dataset: SpecDataset,
-        split: MachineSplit,
-        application: str,
-        training_benchmarks: Sequence[str],
-    ) -> np.ndarray:
-        predictor: TranspositionPredictor = self.predictor_factory()
-        method = DataTransposition(predictor)
-        result = method.predict_scores(
-            dataset, split, application, training_benchmarks=training_benchmarks
-        )
-        return np.asarray(result.predicted_scores)
-
-
 def actual_ranking(dataset: SpecDataset, split: MachineSplit, application: str) -> MachineRanking:
     """Ranking of the target machines by the application's measured scores."""
     row = dataset.matrix.benchmark_scores(application)
-    index = {mid: i for i, mid in enumerate(dataset.matrix.machines)}
+    index = dataset.matrix.machine_index_map
     actual_scores = [row[index[mid]] for mid in split.target_ids]
     return MachineRanking.from_scores(split.target_ids, actual_scores)
+
+
+def _run_single_split(
+    dataset: SpecDataset,
+    split: MachineSplit,
+    methods: Mapping[str, "RankingMethod"],
+    app_names: Sequence[str],
+) -> dict[str, list[CellResult]]:
+    """All cells of one split, with batch-capable methods run in one pass."""
+    batched_scores: dict[str, Mapping[str, np.ndarray]] = {
+        name: method.predict_all_applications(dataset, split, app_names)
+        for name, method in methods.items()
+        if supports_batched_prediction(method)
+    }
+    cells: dict[str, list[CellResult]] = {name: [] for name in methods}
+    for application in app_names:
+        training = [name for name in dataset.benchmark_names if name != application]
+        reference = actual_ranking(dataset, split, application)
+        for name, method in methods.items():
+            if name in batched_scores:
+                predicted_scores = batched_scores[name][application]
+            else:
+                predicted_scores = method.predict_application_scores(
+                    dataset, split, application, training
+                )
+            predicted = MachineRanking.from_scores(split.target_ids, predicted_scores)
+            comparison = compare_rankings(predicted, reference)
+            cells[name].append(
+                CellResult(
+                    method=name,
+                    split_name=split.name,
+                    application=application,
+                    rank_correlation=comparison.rank_correlation,
+                    top1_error_percent=comparison.top1_error_percent,
+                    mean_error_percent=comparison.mean_error_percent,
+                )
+            )
+    return cells
 
 
 def run_cross_validation(
@@ -75,6 +95,7 @@ def run_cross_validation(
     splits: Sequence[MachineSplit],
     methods: Mapping[str, RankingMethod],
     applications: Sequence[str] | None = None,
+    n_jobs: int = 1,
 ) -> dict[str, MethodResults]:
     """Run every method over every (split, application) cell.
 
@@ -86,11 +107,21 @@ def run_cross_validation(
         Machine splits to evaluate (e.g. the 17 family splits for Table 2,
         or a single temporal split for Table 3).
     methods:
-        Mapping from method name to a :class:`RankingMethod`.
+        Mapping from method name to a :class:`RankingMethod`.  Methods that
+        additionally implement
+        :class:`~repro.core.batch.BatchedRankingMethod` are evaluated with
+        one batched pass per split instead of one call per cell.
     applications:
         Applications of interest; defaults to all benchmarks (the full
         leave-one-out loop).  Restricting this list is how tests and quick
         benches bound runtime.
+    n_jobs:
+        Number of worker processes to fan the splits out over (default 1 =
+        in-process).  Useful for methods that stay sequential per cell
+        (GA-kNN); requires picklable dataset/method objects, and method
+        instance state mutated while predicting (e.g. learned weights) is
+        not propagated back from the workers.  Results are identical to the
+        in-process path regardless of worker count.
 
     Returns
     -------
@@ -100,30 +131,28 @@ def run_cross_validation(
         raise ValueError("at least one machine split is required")
     if not methods:
         raise ValueError("at least one method is required")
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
     app_names = list(applications) if applications is not None else dataset.benchmark_names
     unknown = set(app_names) - set(dataset.benchmark_names)
     if unknown:
         raise ValueError(f"unknown applications of interest: {sorted(unknown)}")
 
+    n_workers = min(n_jobs, len(splits))
+    if n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_run_single_split, dataset, split, methods, app_names)
+                for split in splits
+            ]
+            split_cells = [future.result() for future in futures]
+    else:
+        split_cells = [
+            _run_single_split(dataset, split, methods, app_names) for split in splits
+        ]
+
     results = {name: MethodResults(method=name) for name in methods}
-    for split in splits:
-        for application in app_names:
-            training = [name for name in dataset.benchmark_names if name != application]
-            reference = actual_ranking(dataset, split, application)
-            for name, method in methods.items():
-                predicted_scores = method.predict_application_scores(
-                    dataset, split, application, training
-                )
-                predicted = MachineRanking.from_scores(split.target_ids, predicted_scores)
-                comparison = compare_rankings(predicted, reference)
-                results[name].add(
-                    CellResult(
-                        method=name,
-                        split_name=split.name,
-                        application=application,
-                        rank_correlation=comparison.rank_correlation,
-                        top1_error_percent=comparison.top1_error_percent,
-                        mean_error_percent=comparison.mean_error_percent,
-                    )
-                )
+    for cells in split_cells:
+        for name, method_cells in cells.items():
+            results[name].extend(method_cells)
     return results

@@ -131,7 +131,7 @@ class DataTransposition:
 
         if app_scores_predictive is None:
             app_row = dataset.matrix.benchmark_scores(application)
-            machine_index = {mid: i for i, mid in enumerate(dataset.matrix.machines)}
+            machine_index = dataset.matrix.machine_index_map
             app_scores = np.array(
                 [app_row[machine_index[mid]] for mid in split.predictive_ids], dtype=float
             )

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence
+from types import MappingProxyType
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -32,7 +33,11 @@ class PerformanceMatrix:
     ) -> None:
         self.benchmarks = list(benchmarks)
         self.machines = list(machines)
-        self.scores = np.asarray(scores, dtype=float)
+        # Own, immutable copy: downstream consumers (the split-level caches
+        # of the batched engine in particular) may retain derived blocks, so
+        # silent in-place edits would desynchronise them.  Mutating the
+        # scores raises instead; build a new matrix to change values.
+        self.scores = np.array(scores, dtype=float)
         if self.scores.shape != (len(self.benchmarks), len(self.machines)):
             raise ValueError(
                 f"scores shape {self.scores.shape} does not match "
@@ -46,6 +51,7 @@ class PerformanceMatrix:
             raise ValueError("scores must all be finite")
         if np.any(self.scores <= 0):
             raise ValueError("SPEC-style speed ratios must be positive")
+        self.scores.flags.writeable = False
         self._benchmark_index = {name: i for i, name in enumerate(self.benchmarks)}
         self._machine_index = {name: i for i, name in enumerate(self.machines)}
 
@@ -69,17 +75,35 @@ class PerformanceMatrix:
         except KeyError:
             raise KeyError(f"unknown machine {machine!r}") from None
 
+    @property
+    def machine_index_map(self) -> Mapping[str, int]:
+        """Read-only ``{machine_id: column}`` mapping, built once at construction.
+
+        Hot paths (the cross-validation pipeline visits every matrix cell)
+        use this instead of rebuilding the dict per lookup batch.
+        """
+        return MappingProxyType(self._machine_index)
+
+    @property
+    def benchmark_index_map(self) -> Mapping[str, int]:
+        """Read-only ``{benchmark: row}`` mapping, built once at construction."""
+        return MappingProxyType(self._benchmark_index)
+
     def score(self, benchmark: str, machine: str) -> float:
         """Single cell: the score of *benchmark* on *machine*."""
         return float(self.scores[self.benchmark_index(benchmark), self.machine_index(machine)])
 
     def benchmark_scores(self, benchmark: str) -> np.ndarray:
-        """One row: *benchmark*'s score on every machine."""
-        return self.scores[self.benchmark_index(benchmark)].copy()
+        """One row: *benchmark*'s score on every machine (read-only view)."""
+        row = self.scores[self.benchmark_index(benchmark)].view()
+        row.flags.writeable = False
+        return row
 
     def machine_scores(self, machine: str) -> np.ndarray:
-        """One column: every benchmark's score on *machine*."""
-        return self.scores[:, self.machine_index(machine)].copy()
+        """One column: every benchmark's score on *machine* (read-only view)."""
+        column = self.scores[:, self.machine_index(machine)].view()
+        column.flags.writeable = False
+        return column
 
     # ------------------------------------------------------------- selection
     def select_machines(self, machines: Iterable[str]) -> "PerformanceMatrix":

@@ -29,12 +29,14 @@ from repro.ml.distances import (
 from repro.ml.preprocessing import MinMaxScaler, StandardScaler
 from repro.ml.linreg import LinearRegression, RidgeRegression, SimpleLinearRegression
 from repro.ml.mlp import MLPRegressor
+from repro.ml.batched_mlp import BatchedMLPRegressor
 from repro.ml.knn import KNNRegressor
 from repro.ml.genetic import GeneticAlgorithm, GAConfig
 from repro.ml.kmedoids import KMedoids
 from repro.ml.model_selection import GridSearch, KFold, train_test_split
 
 __all__ = [
+    "BatchedMLPRegressor",
     "GAConfig",
     "GeneticAlgorithm",
     "GridSearch",

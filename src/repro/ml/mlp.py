@@ -52,9 +52,16 @@ class MLPRegressor:
         MultilayerPerceptron does by default.
     seed:
         Seed for weight initialisation and sample shuffling.
+    gradient_clip:
+        Maximum magnitude of the back-propagated error signal per sample.
+        Plain SGD with momentum is prone to divergence on tiny, collinear
+        training sets, so the per-sample error is clipped before the
+        gradients are formed.  Note the clip caps the error signal even when
+        ``learning_rate`` is tuned down to compensate; raise this threshold
+        (or set it very large) when sweeping learning rates.
     """
 
-    #: Maximum magnitude of the back-propagated error signal per sample.
+    #: Default maximum magnitude of the back-propagated error signal per sample.
     GRADIENT_CLIP = 2.0
 
     def __init__(
@@ -65,6 +72,7 @@ class MLPRegressor:
         epochs: int = 500,
         normalize: bool = True,
         seed: int = 0,
+        gradient_clip: float = GRADIENT_CLIP,
     ) -> None:
         if hidden_units is not None and hidden_units < 1:
             raise ValueError("hidden_units must be >= 1")
@@ -74,12 +82,15 @@ class MLPRegressor:
             raise ValueError("momentum must be in [0, 1)")
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if gradient_clip <= 0:
+            raise ValueError("gradient_clip must be positive")
         self.hidden_units = hidden_units
         self.learning_rate = float(learning_rate)
         self.momentum = float(momentum)
         self.epochs = int(epochs)
         self.normalize = bool(normalize)
         self.seed = int(seed)
+        self.gradient_clip = float(gradient_clip)
 
         self._w_hidden: np.ndarray | None = None
         self._b_hidden: np.ndarray | None = None
@@ -139,7 +150,7 @@ class MLPRegressor:
                 # Clip the error signal so a few bad samples cannot blow up
                 # the weights (plain SGD with momentum is otherwise prone to
                 # divergence on tiny, collinear training sets).
-                error = float(np.clip(output - yi, -self.GRADIENT_CLIP, self.GRADIENT_CLIP))
+                error = float(np.clip(output - yi, -self.gradient_clip, self.gradient_clip))
                 epoch_loss += 0.5 * error * error
 
                 grad_w_output = error * hidden_act
