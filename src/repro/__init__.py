@@ -17,6 +17,11 @@ The package is organised as a small stack:
 * :mod:`repro.baselines` — the GA-kNN prior art and naive baselines.
 * :mod:`repro.experiments` — one module per paper table/figure.
 * :mod:`repro.applications` — the use cases sketched in Section 4.
+* :mod:`repro.service` — the online prediction service over the batched
+  engine (``repro-serve``), with split-state caching and micro-batching.
+
+``docs/architecture.md`` maps the layers in detail; ``docs/serving.md``
+and ``docs/api.md`` cover the serving stack.
 """
 
 from repro.data import SpecDataset, build_default_dataset

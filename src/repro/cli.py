@@ -5,11 +5,17 @@ Installed as ``repro-experiments``.  Examples::
     repro-experiments table2                 # fast preset
     repro-experiments table3 --preset full   # paper-faithful (slow)
     repro-experiments all --preset fast
+    repro-experiments serve --preset smoke   # the prediction server
+
+``serve`` delegates to the prediction server (``repro-serve``,
+:mod:`repro.service.server`) and forwards every following argument to it;
+see ``docs/serving.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable
 
@@ -42,6 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the data-transposition paper.",
+        epilog="'repro-experiments serve' starts the prediction server (repro-serve).",
     )
     parser.add_argument(
         "experiment",
@@ -59,22 +66,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Run the requested experiment(s) and print the text report."""
+    """Run the requested experiment(s) and print the text report.
+
+    ``serve`` is dispatched to :func:`repro.service.server.main` with the
+    remaining arguments; everything else is parsed as an experiment name.
+    """
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        from repro.service.server import main as serve_main
+
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     config = _PRESETS[args.preset]()
     if args.seed is not None:
-        config = ExperimentConfig(
-            applications=config.applications,
-            mlp_epochs=config.mlp_epochs,
-            mlp_hidden_units=config.mlp_hidden_units,
-            ga_population=config.ga_population,
-            ga_generations=config.ga_generations,
-            knn_neighbours=config.knn_neighbours,
-            noise_sigma=config.noise_sigma,
-            seed=args.seed,
-            figure8_random_draws=config.figure8_random_draws,
-            figure8_max_predictive=config.figure8_max_predictive,
-        )
+        config = dataclasses.replace(config, seed=args.seed)
     dataset = build_default_dataset(noise_sigma=config.noise_sigma, seed=config.seed)
 
     sections: list[str] = []

@@ -5,6 +5,7 @@ from repro.core.batch import (
     BatchedMLPTransposition,
     BatchedRankingMethod,
     SplitContext,
+    split_cache_key,
     supports_batched_prediction,
 )
 from repro.core.linear_predictor import LinearFitDetail, LinearTranspositionPredictor
@@ -26,6 +27,7 @@ from repro.core.pipeline import (
     RankingMethod,
     TranspositionMethod,
     actual_ranking,
+    predict_split_scores,
     run_cross_validation,
 )
 
@@ -50,7 +52,9 @@ __all__ = [
     "actual_ranking",
     "compare_rankings",
     "machine_feature_matrix",
+    "predict_split_scores",
     "run_cross_validation",
+    "split_cache_key",
     "supports_batched_prediction",
     "select_farthest_point",
     "select_k_medoids",

@@ -21,10 +21,17 @@ application axis:
 
 Methods without a batched entry point (GA-kNN) keep using the per-cell path;
 the pipeline dispatches per method via :func:`supports_batched_prediction`.
+
+The module also provides the cache hooks the online prediction service
+(:mod:`repro.service`) builds on: :func:`split_cache_key` derives a stable,
+process-independent identity for a ``(dataset, split)`` pair from the
+dataset's content fingerprint, and every :class:`SplitContext` carries the
+digested form as :attr:`SplitContext.fingerprint`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from functools import partial
 from typing import Mapping, Protocol, Sequence
@@ -45,8 +52,55 @@ __all__ = [
     "BatchedRankingMethod",
     "SplitContext",
     "TranspositionMethod",
+    "split_cache_key",
+    "split_fingerprint",
     "supports_batched_prediction",
 ]
+
+
+def split_cache_key(
+    dataset: SpecDataset, split: MachineSplit
+) -> tuple[str, tuple[str, ...], tuple[str, ...]]:
+    """Stable cache key identifying ``(dataset, split)`` by content.
+
+    The key is ``(dataset fingerprint, predictive machine ids, target
+    machine ids)`` — hashable, picklable and identical across processes, so
+    it can address shared caches the way ``id()``-based keys (used by the
+    in-process :meth:`SplitContext.for_split` fast path) cannot.  The
+    prediction service keys its :class:`~repro.service.cache.
+    SplitContextCache` with it: any client presenting the same machine sets
+    against byte-identical scores hits the same trained state.
+
+    Examples::
+
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> key = split_cache_key(dataset, split)
+        >>> key == (dataset.fingerprint, split.predictive_ids, split.target_ids)
+        True
+    """
+    return (dataset.fingerprint, split.predictive_ids, split.target_ids)
+
+
+def split_fingerprint(dataset: SpecDataset, split: MachineSplit) -> str:
+    """Hex SHA-256 digest of :func:`split_cache_key` — a short content address.
+
+    One digest definition shared by :attr:`SplitContext.fingerprint` and the
+    service's reply ``split_fingerprint``, so traces from either side refer
+    to the same identifier.
+
+    Examples::
+
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> split_fingerprint(dataset, split) == SplitContext.for_split(
+        ...     dataset, split
+        ... ).fingerprint
+        True
+    """
+    return hashlib.sha256(repr(split_cache_key(dataset, split)).encode()).hexdigest()
 
 
 class BatchedRankingMethod(Protocol):
@@ -68,7 +122,21 @@ class BatchedRankingMethod(Protocol):
 
 
 def supports_batched_prediction(method: object) -> bool:
-    """True when *method* implements :class:`BatchedRankingMethod`."""
+    """True when *method* implements :class:`BatchedRankingMethod`.
+
+    The pipeline and the prediction service use this predicate to dispatch
+    between the one-pass-per-split path and the per-cell fallback.
+
+    Examples::
+
+        >>> from repro.core.linear_predictor import LinearTranspositionPredictor
+        >>> supports_batched_prediction(BatchedLinearTransposition())
+        True
+        >>> supports_batched_prediction(
+        ...     TranspositionMethod(LinearTranspositionPredictor, "NN^T")
+        ... )
+        False
+    """
     return callable(getattr(method, "predict_all_applications", None))
 
 
@@ -80,6 +148,30 @@ class SplitContext:
     every application; building them once per split removes that overhead
     and gives the batched methods contiguous tensors to slice from.
     Contexts are cached per ``(dataset, split)`` via :meth:`for_split`.
+
+    Attributes
+    ----------
+    split:
+        The :class:`~repro.data.splits.MachineSplit` this context serves.
+    fingerprint:
+        Hex SHA-256 digest of :func:`split_cache_key`, i.e. a stable
+        content address for this (dataset, split) pair.  The prediction
+        service uses it to route entries to cache shards deterministically
+        (``hash()`` would vary with ``PYTHONHASHSEED``).
+    predictive_scores / target_scores:
+        Contiguous ``(benchmarks x machines)`` score blocks for the
+        predictive and target machine sets.
+
+    Examples::
+
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> context = SplitContext.for_split(dataset, split)
+        >>> context.predictive_scores.shape == (29, split.n_predictive)
+        True
+        >>> len(context.fingerprint)
+        64
     """
 
     _cache: dict[tuple[int, MachineSplit], tuple["weakref.ref[SpecDataset]", "SplitContext"]] = {}
@@ -92,6 +184,7 @@ class SplitContext:
         # dataset lifetime with a weakref, which a strong reference here
         # would keep alive forever.
         self.split = split
+        self.fingerprint = split_fingerprint(dataset, split)
         self.benchmark_row: Mapping[str, int] = matrix.benchmark_index_map
         predictive_cols = [machine_index[mid] for mid in split.predictive_ids]
         target_cols = [machine_index[mid] for mid in split.target_ids]
@@ -153,6 +246,22 @@ class TranspositionMethod:
     state leaks between applications of interest.  Sub-matrix extraction
     goes through the split-level :class:`SplitContext` cache rather than
     re-slicing the performance matrix per cell.
+
+    This per-cell form is the fallback the engine keeps for methods without
+    a batched entry point and the baseline the engine benches measure
+    against; the batched subclasses below add the one-pass-per-split path.
+
+    Examples::
+
+        >>> from repro.core.linear_predictor import LinearTranspositionPredictor
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> method = TranspositionMethod(LinearTranspositionPredictor, "NN^T")
+        >>> training = [b for b in dataset.benchmark_names if b != "gcc"]
+        >>> scores = method.predict_application_scores(dataset, split, "gcc", training)
+        >>> scores.shape == (split.n_target,)
+        True
     """
 
     def __init__(self, predictor_factory, name: str) -> None:
@@ -192,6 +301,19 @@ class BatchedLinearTransposition(TranspositionMethod):
     leave-one-out fit by rank-one downdating
     (:meth:`~repro.core.linear_predictor.LinearTranspositionPredictor.
     predict_leave_one_out`).
+
+    Examples::
+
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> scores = BatchedLinearTransposition().predict_all_applications(
+        ...     dataset, split, ["gcc", "mcf"]
+        ... )
+        >>> sorted(scores) == ["gcc", "mcf"]
+        True
+        >>> scores["gcc"].shape == (split.n_target,)
+        True
     """
 
     def __init__(
@@ -231,6 +353,16 @@ class BatchedMLPTransposition(TranspositionMethod):
     hyper-parameters and seed, so all of them advance through SGD together
     as one stacked tensor pass (:class:`~repro.ml.batched_mlp.
     BatchedMLPRegressor`), matching the per-cell results to ~1e-10.
+
+    Examples::
+
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> method = BatchedMLPTransposition(epochs=5, seed=0)
+        >>> scores = method.predict_all_applications(dataset, split, ["gcc"])
+        >>> scores["gcc"].shape == (split.n_target,)
+        True
     """
 
     def __init__(

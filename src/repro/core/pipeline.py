@@ -12,6 +12,13 @@ implement :class:`~repro.core.batch.BatchedRankingMethod`, evaluates all
 leave-one-out applications in a single vectorised pass.  Methods without a
 batched entry point fall back to the historical per-cell loop, and an
 opt-in ``n_jobs`` process pool fans the splits out across cores for them.
+
+:func:`predict_split_scores` is the shared fit/predict entry point beneath
+both consumers of the engine: this offline cross-validation driver and the
+online prediction service (:mod:`repro.service`).  Both hand it the same
+(dataset, split, methods, applications) and get the same score tensors
+back, which is what makes service answers bit-identical to the offline
+tables.
 """
 
 from __future__ import annotations
@@ -27,7 +34,13 @@ from repro.core.results import CellResult, MethodResults
 from repro.data.spec_dataset import SpecDataset
 from repro.data.splits import MachineSplit
 
-__all__ = ["RankingMethod", "TranspositionMethod", "run_cross_validation", "actual_ranking"]
+__all__ = [
+    "RankingMethod",
+    "TranspositionMethod",
+    "actual_ranking",
+    "predict_split_scores",
+    "run_cross_validation",
+]
 
 
 class RankingMethod(Protocol):
@@ -45,11 +58,83 @@ class RankingMethod(Protocol):
 
 
 def actual_ranking(dataset: SpecDataset, split: MachineSplit, application: str) -> MachineRanking:
-    """Ranking of the target machines by the application's measured scores."""
+    """Ranking of the target machines by the application's measured scores.
+
+    Examples::
+
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> reference = actual_ranking(dataset, split, "gcc")
+        >>> set(reference.machine_ids) == set(split.target_ids)
+        True
+    """
     row = dataset.matrix.benchmark_scores(application)
     index = dataset.matrix.machine_index_map
     actual_scores = [row[index[mid]] for mid in split.target_ids]
     return MachineRanking.from_scores(split.target_ids, actual_scores)
+
+
+def predict_split_scores(
+    dataset: SpecDataset,
+    split: MachineSplit,
+    methods: Mapping[str, "RankingMethod"],
+    applications: Sequence[str],
+) -> dict[str, dict[str, np.ndarray]]:
+    """Predicted target-machine scores for every (method, application) of one split.
+
+    This is the shared fit/predict entry point of the engine: the offline
+    :func:`run_cross_validation` driver and the online
+    :class:`~repro.service.PredictionService` both obtain their predictions
+    here, so the two surfaces are bit-identical by construction.  Each
+    application is trained leave-one-out against every other dataset
+    benchmark; batch-capable methods cover all applications in one
+    vectorised pass per split, the rest run the per-cell loop.
+
+    Parameters
+    ----------
+    dataset:
+        The study dataset.
+    split:
+        The predictive/target machine division to predict for.
+    methods:
+        Mapping from method name to :class:`RankingMethod` (batch-capable
+        methods are detected via :func:`~repro.core.batch.
+        supports_batched_prediction`).
+    applications:
+        Applications of interest (dataset benchmark names).
+
+    Returns
+    -------
+    ``{method name: {application: scores}}`` where ``scores`` is one
+    predicted value per machine in ``split.target_ids``.
+
+    Examples::
+
+        >>> from repro.core import BatchedLinearTransposition, predict_split_scores
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> split = family_cross_validation_splits(dataset)[0]
+        >>> scores = predict_split_scores(
+        ...     dataset, split, {"NN^T": BatchedLinearTransposition()}, ["gcc"]
+        ... )
+        >>> scores["NN^T"]["gcc"].shape == (split.n_target,)
+        True
+    """
+    scores: dict[str, dict[str, np.ndarray]] = {}
+    for name, method in methods.items():
+        if supports_batched_prediction(method):
+            batched = method.predict_all_applications(dataset, split, applications)
+            scores[name] = {app: np.asarray(batched[app]) for app in applications}
+        else:
+            per_cell: dict[str, np.ndarray] = {}
+            for application in applications:
+                training = [b for b in dataset.benchmark_names if b != application]
+                per_cell[application] = np.asarray(
+                    method.predict_application_scores(dataset, split, application, training)
+                )
+            scores[name] = per_cell
+    return scores
 
 
 def _run_single_split(
@@ -59,22 +144,12 @@ def _run_single_split(
     app_names: Sequence[str],
 ) -> dict[str, list[CellResult]]:
     """All cells of one split, with batch-capable methods run in one pass."""
-    batched_scores: dict[str, Mapping[str, np.ndarray]] = {
-        name: method.predict_all_applications(dataset, split, app_names)
-        for name, method in methods.items()
-        if supports_batched_prediction(method)
-    }
+    predicted_by_method = predict_split_scores(dataset, split, methods, app_names)
     cells: dict[str, list[CellResult]] = {name: [] for name in methods}
     for application in app_names:
-        training = [name for name in dataset.benchmark_names if name != application]
         reference = actual_ranking(dataset, split, application)
-        for name, method in methods.items():
-            if name in batched_scores:
-                predicted_scores = batched_scores[name][application]
-            else:
-                predicted_scores = method.predict_application_scores(
-                    dataset, split, application, training
-                )
+        for name in methods:
+            predicted_scores = predicted_by_method[name][application]
             predicted = MachineRanking.from_scores(split.target_ids, predicted_scores)
             comparison = compare_rankings(predicted, reference)
             cells[name].append(
@@ -126,6 +201,18 @@ def run_cross_validation(
     Returns
     -------
     Mapping from method name to its collected :class:`MethodResults`.
+
+    Examples::
+
+        >>> from repro.core import BatchedLinearTransposition
+        >>> from repro.data import build_default_dataset, family_cross_validation_splits
+        >>> dataset = build_default_dataset()
+        >>> splits = family_cross_validation_splits(dataset)[:2]
+        >>> results = run_cross_validation(
+        ...     dataset, splits, {"NN^T": BatchedLinearTransposition()}, ["gcc", "mcf"]
+        ... )
+        >>> len(results["NN^T"].cells)   # 2 splits x 2 applications
+        4
     """
     if not splits:
         raise ValueError("at least one machine split is required")

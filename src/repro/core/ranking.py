@@ -24,7 +24,18 @@ __all__ = ["MachineRanking", "compare_rankings", "RankingComparison"]
 
 @dataclass(frozen=True)
 class MachineRanking:
-    """Machines ordered by a performance score for one application."""
+    """Machines ordered by a performance score for one application.
+
+    Examples::
+
+        >>> ranking = MachineRanking.from_scores(["m1", "m2", "m3"], [1.0, 3.0, 2.0])
+        >>> ranking.ordered_ids()
+        ['m2', 'm3', 'm1']
+        >>> ranking.top(1)
+        ['m2']
+        >>> ranking.score_of("m3")
+        2.0
+    """
 
     machine_ids: tuple[str, ...]
     scores: tuple[float, ...]
@@ -78,7 +89,18 @@ class RankingComparison:
 
 
 def compare_rankings(predicted: MachineRanking, actual: MachineRanking) -> RankingComparison:
-    """Compute the paper's three metrics between two rankings of the same machines."""
+    """Compute the paper's three metrics between two rankings of the same machines.
+
+    Examples::
+
+        >>> predicted = MachineRanking.from_scores(["m1", "m2"], [10.0, 20.0])
+        >>> actual = MachineRanking.from_scores(["m1", "m2"], [11.0, 19.0])
+        >>> comparison = compare_rankings(predicted, actual)
+        >>> comparison.rank_correlation
+        1.0
+        >>> comparison.predicted_best_is_actual_best
+        True
+    """
     if set(predicted.machine_ids) != set(actual.machine_ids):
         raise ValueError("rankings must cover the same set of machines")
     # Align the actual scores to the predicted ranking's machine order.

@@ -53,7 +53,19 @@ class MethodSummary:
 
 @dataclass
 class MethodResults:
-    """All experiment cells produced by one method."""
+    """All experiment cells produced by one method.
+
+    Examples::
+
+        >>> results = MethodResults(method="NN^T")
+        >>> results.add(CellResult(
+        ...     method="NN^T", split_name="family:a", application="gcc",
+        ...     rank_correlation=0.9, top1_error_percent=1.0, mean_error_percent=2.0,
+        ... ))
+        >>> summary = results.summary()
+        >>> (summary.cells, summary.rank_correlation.mean)
+        (1, 0.9)
+    """
 
     method: str
     cells: list[CellResult] = field(default_factory=list)

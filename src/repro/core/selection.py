@@ -39,7 +39,13 @@ def machine_feature_matrix(dataset: SpecDataset, machine_ids: list[str]) -> np.n
 
 
 def select_random(candidate_ids: list[str], count: int, seed: int = 0) -> list[str]:
-    """Uniformly random selection of *count* predictive machines."""
+    """Uniformly random selection of *count* predictive machines.
+
+    Examples::
+
+        >>> select_random(["m1", "m2", "m3", "m4"], 2, seed=0)
+        ['m3', 'm4']
+    """
     if count < 1:
         raise ValueError("count must be >= 1")
     if count > len(candidate_ids):

@@ -67,6 +67,21 @@ class DataTransposition:
         paper found most accurate.  Use
         :class:`repro.core.linear_predictor.LinearTranspositionPredictor`
         for the NNᵀ flavour.
+
+    Examples::
+
+        >>> from repro.data import MachineSplit, build_default_dataset
+        >>> dataset = build_default_dataset()
+        >>> split = MachineSplit(
+        ...     name="demo",
+        ...     predictive_ids=tuple(dataset.machine_ids[:4]),
+        ...     target_ids=tuple(dataset.machine_ids[4:8]),
+        ... )
+        >>> ranking = DataTransposition.with_linear_regression().rank_machines(
+        ...     dataset, split, "gcc"
+        ... )
+        >>> len(ranking.top(2))
+        2
     """
 
     def __init__(self, predictor: TranspositionPredictor | None = None) -> None:

@@ -10,8 +10,9 @@ because every experiment starts from the same dataset.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import cached_property, lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -45,6 +46,40 @@ class SpecDataset:
         benchmark_names = [workload.name for workload in self.benchmarks]
         if benchmark_names != self.matrix.benchmarks:
             raise ValueError("benchmark list does not match the matrix rows")
+
+    # ------------------------------------------------------------- identity
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable content digest of the dataset (hex SHA-256).
+
+        Two datasets share a fingerprint exactly when their benchmark rows,
+        machine columns and score values are identical, regardless of which
+        process built them.  This is the dataset half of the prediction
+        service's cache key (:func:`repro.core.batch.split_cache_key`):
+        unlike ``id(dataset)``, it survives pickling across the ``n_jobs``
+        process pool and server restarts, so cached trained state is reused
+        if and only if it was derived from the same scores.
+
+        The digest covers the row/column *order* as well as the values —
+        a reordered matrix is a different dataset to every consumer that
+        works with positional score blocks.
+
+        Examples::
+
+            >>> from repro.data import build_default_dataset
+            >>> dataset = build_default_dataset()
+            >>> dataset.fingerprint == build_default_dataset().fingerprint
+            True
+            >>> len(dataset.fingerprint)
+            64
+        """
+        digest = hashlib.sha256()
+        digest.update("\x1f".join(self.matrix.benchmarks).encode())
+        digest.update(b"\x1e")
+        digest.update("\x1f".join(self.matrix.machines).encode())
+        digest.update(b"\x1e")
+        digest.update(np.ascontiguousarray(self.matrix.scores).tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------- metadata
     @property

@@ -119,18 +119,19 @@ class BatchedMLPRegressor:
         # it, then broadcast: N identically-seeded sequential fits all see
         # these same initial weights and the same per-epoch shuffle orders.
         rng = np.random.default_rng(self.seed)
-        w_hidden = np.ascontiguousarray(
-            np.broadcast_to(
-                rng.uniform(-0.5, 0.5, size=(n_features, n_hidden)),
-                (n_networks, n_features, n_hidden),
-            )
-        )
-        b_hidden = np.ascontiguousarray(
-            np.broadcast_to(rng.uniform(-0.5, 0.5, size=n_hidden), (n_networks, n_hidden))
-        )
-        w_output = np.ascontiguousarray(
-            np.broadcast_to(rng.uniform(-0.5, 0.5, size=n_hidden), (n_networks, n_hidden))
-        )
+        # Explicit copies: broadcast_to returns a read-only view, and for a
+        # single network ascontiguousarray would pass it through unchanged,
+        # breaking the in-place SGD updates below.
+        w_hidden = np.broadcast_to(
+            rng.uniform(-0.5, 0.5, size=(n_features, n_hidden)),
+            (n_networks, n_features, n_hidden),
+        ).copy()
+        b_hidden = np.broadcast_to(
+            rng.uniform(-0.5, 0.5, size=n_hidden), (n_networks, n_hidden)
+        ).copy()
+        w_output = np.broadcast_to(
+            rng.uniform(-0.5, 0.5, size=n_hidden), (n_networks, n_hidden)
+        ).copy()
         b_output = np.full(n_networks, float(rng.uniform(-0.5, 0.5)))
 
         vel_w_hidden = np.zeros_like(w_hidden)

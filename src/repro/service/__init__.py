@@ -1,0 +1,57 @@
+"""Online prediction service over the batched cross-validation engine.
+
+The paper's question — *which machine should I buy or schedule onto for an
+application the vendor never measured?* — is an online prediction problem.
+This package turns the offline engine of :mod:`repro.core` into a serving
+stack for it:
+
+* :mod:`repro.service.api` — :class:`PredictionService`, the facade that
+  answers single or bulk ranking queries through the same
+  :func:`~repro.core.pipeline.predict_split_scores` entry point the offline
+  tables use (service answers are bit-identical to
+  :func:`~repro.core.pipeline.run_cross_validation` cells);
+* :mod:`repro.service.cache` — :class:`SplitContextCache`, the sharded
+  LRU+TTL cache holding trained split state, keyed by
+  :func:`~repro.core.batch.split_cache_key`;
+* :mod:`repro.service.batching` — :class:`MicroBatcher`, the asyncio
+  front end coalescing concurrent requests into stacked batch calls; and
+* :mod:`repro.service.server` — the ``repro-serve`` entry point (stdio
+  JSON-lines or TCP) plus the synchronous :class:`InProcessClient`.
+
+Examples::
+
+    >>> from repro.core import BatchedLinearTransposition
+    >>> from repro.data import build_default_dataset
+    >>> from repro.service import PredictionService, RankingQuery
+    >>> dataset = build_default_dataset()
+    >>> service = PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+    >>> reply = service.rank(
+    ...     RankingQuery("gcc", tuple(dataset.machine_ids[:5]), top_n=1)
+    ... )
+    >>> reply.top1 == reply.machine_ids[0]
+    True
+"""
+
+from repro.service.api import (
+    PredictionService,
+    RankingQuery,
+    RankingReply,
+    ServiceError,
+)
+from repro.service.batching import MicroBatcher
+from repro.service.cache import CacheStats, SplitContextCache
+from repro.service.server import InProcessClient, build_service, serve_stdio, serve_tcp
+
+__all__ = [
+    "CacheStats",
+    "InProcessClient",
+    "MicroBatcher",
+    "PredictionService",
+    "RankingQuery",
+    "RankingReply",
+    "ServiceError",
+    "SplitContextCache",
+    "build_service",
+    "serve_stdio",
+    "serve_tcp",
+]

@@ -1,0 +1,13 @@
+"""``python -m repro.service`` — the ``repro-serve`` entry point.
+
+Thin alias for :func:`repro.service.server.main` so the server can be
+launched without naming the submodule (which would be re-executed under
+``runpy`` after the package import already loaded it).
+"""
+
+import sys
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

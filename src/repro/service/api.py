@@ -1,0 +1,338 @@
+"""The prediction service facade.
+
+:class:`PredictionService` turns the offline cross-validation engine into
+an online question-answering API: *"rank these target machines for
+application X, given its scores on the predictive machines I own"*.  It
+answers through exactly the same entry point the offline tables use —
+:func:`repro.core.pipeline.predict_split_scores` — so a service reply is
+bit-identical to the corresponding :func:`~repro.core.pipeline.
+run_cross_validation` cell.
+
+Serving strategy: the unit of training is the *(split, method)* pair, not
+the single query.  One :class:`~repro.core.batch.BatchedRankingMethod`
+tensor pass covers every application of the dataset at once, and the
+resulting score table is cached in a :class:`~repro.service.cache.
+SplitContextCache` keyed by :func:`~repro.core.batch.split_cache_key`.
+The first query against a split pays for the pass; every later query on
+that split — any application, any ``top_n`` — is a dictionary lookup.
+
+Examples::
+
+    >>> from repro.core import BatchedLinearTransposition
+    >>> from repro.data import build_default_dataset
+    >>> dataset = build_default_dataset()
+    >>> service = PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+    >>> query = RankingQuery(
+    ...     application="gcc",
+    ...     predictive_machines=tuple(dataset.machine_ids[:5]),
+    ...     top_n=3,
+    ... )
+    >>> reply = service.rank(query)
+    >>> reply.cache_hit, len(reply.machine_ids)
+    (False, 3)
+    >>> service.rank(query).cache_hit
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.batch import split_cache_key, split_fingerprint, supports_batched_prediction
+from repro.core.pipeline import RankingMethod, predict_split_scores
+from repro.core.ranking import MachineRanking
+from repro.data.spec_dataset import SpecDataset
+from repro.data.splits import MachineSplit
+from repro.service.cache import CacheStats, SplitContextCache
+
+__all__ = ["PredictionService", "RankingQuery", "RankingReply", "ServiceError"]
+
+#: Method used when a query does not name one (the paper's headline method).
+DEFAULT_METHOD = "NN^T"
+
+
+class ServiceError(ValueError):
+    """A query the service cannot answer (unknown names, bad shapes).
+
+    Raised instead of assorted ``KeyError``/``ValueError`` flavours so the
+    wire front ends can map every client mistake to one error reply without
+    masking genuine server bugs.
+    """
+
+
+@dataclass(frozen=True)
+class RankingQuery:
+    """One ranking question for the service.
+
+    Attributes
+    ----------
+    application:
+        The application of interest — a dataset benchmark name (the
+        leave-one-out serving model: it is excluded from its own training
+        suite, exactly as in Figure 5 of the paper).
+    predictive_machines:
+        The machines the application has measured scores on.
+    target_machines:
+        The machines to rank.  ``None`` (the default) means every dataset
+        machine that is not predictive.
+    method:
+        Ranking method name; must match a method the service was built
+        with (default ``"NN^T"``).
+    top_n:
+        Truncate the reply to the best *n* machines (``None`` = all).
+
+    Examples::
+
+        >>> query = RankingQuery("gcc", ("m001", "m002"))
+        >>> query.method
+        'NN^T'
+    """
+
+    application: str
+    predictive_machines: tuple[str, ...]
+    target_machines: tuple[str, ...] | None = None
+    method: str = DEFAULT_METHOD
+    top_n: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predictive_machines", tuple(self.predictive_machines))
+        if self.target_machines is not None:
+            object.__setattr__(self, "target_machines", tuple(self.target_machines))
+        if self.top_n is not None and self.top_n < 1:
+            raise ServiceError("top_n must be >= 1")
+
+
+@dataclass(frozen=True)
+class RankingReply:
+    """The service's answer to one :class:`RankingQuery`.
+
+    Attributes
+    ----------
+    application / method:
+        Echo of the query.
+    machine_ids:
+        Ranked target machines, best predicted performance first (truncated
+        to the query's ``top_n``).
+    scores:
+        Predicted scores aligned with ``machine_ids``.
+    cache_hit:
+        ``True`` when the answer came from already-trained split state
+        (no tensor pass was needed).
+    split_fingerprint:
+        Content address of the (dataset, split) pair that answered the
+        query — the cache key digest, useful for tracing shard routing.
+
+    Examples::
+
+        >>> reply = RankingReply(
+        ...     application="gcc", method="NN^T",
+        ...     machine_ids=("m9", "m3"), scores=(40.0, 38.5),
+        ...     cache_hit=True, split_fingerprint="ab12",
+        ... )
+        >>> reply.top1
+        'm9'
+        >>> reply.ranking().score_of("m3")
+        38.5
+    """
+
+    application: str
+    method: str
+    machine_ids: tuple[str, ...]
+    scores: tuple[float, ...]
+    cache_hit: bool
+    split_fingerprint: str
+
+    @property
+    def top1(self) -> str:
+        """The purchase recommendation: the best-ranked machine."""
+        return self.machine_ids[0]
+
+    def ranking(self) -> MachineRanking:
+        """The reply as a :class:`~repro.core.ranking.MachineRanking`."""
+        return MachineRanking.from_scores(self.machine_ids, self.scores)
+
+
+class _SplitState:
+    """Trained state of one (dataset, split): per-method score tables.
+
+    Methods are filled lazily — a query for NNᵀ never trains MLPᵀ.  For
+    batch-capable methods one tensor pass covers *all* dataset applications
+    (the extra applications are nearly free), which is what makes every
+    later query on the split a lookup; per-cell methods (GA-kNN) are
+    expensive per application, so their table fills one application at a
+    time as queries ask for them.
+    """
+
+    def __init__(self, split: MachineSplit, fingerprint: str) -> None:
+        self.split = split
+        self.fingerprint = fingerprint
+        self._lock = threading.Lock()
+        self._scores: dict[str, dict[str, np.ndarray]] = {}
+
+    def scores_for(
+        self,
+        dataset: SpecDataset,
+        method_name: str,
+        method: RankingMethod,
+        application: str,
+    ) -> tuple[np.ndarray, bool]:
+        """``(target scores for application, answer_was_already_trained)``."""
+        with self._lock:
+            table = self._scores.setdefault(method_name, {})
+            if application in table:
+                return table[application], True
+            applications = (
+                dataset.benchmark_names
+                if supports_batched_prediction(method)
+                else [application]
+            )
+            table.update(
+                predict_split_scores(
+                    dataset, self.split, {method_name: method}, applications
+                )[method_name]
+            )
+            return table[application], False
+
+
+class PredictionService:
+    """Batched, cache-backed online ranking API over the offline engine.
+
+    Parameters
+    ----------
+    dataset:
+        The performance dataset to answer from.
+    methods:
+        Mapping from method name to :class:`~repro.core.pipeline.
+        RankingMethod`.  Batch-capable methods (the default NNᵀ/MLPᵀ
+        line-up) are trained with one tensor pass per split; per-cell
+        methods work too, they just fill the split state more slowly.
+    cache:
+        The :class:`~repro.service.cache.SplitContextCache` holding trained
+        split state (default: 64 entries, 4 shards, no TTL).
+
+    Examples::
+
+        >>> from repro.core import BatchedLinearTransposition
+        >>> from repro.data import build_default_dataset
+        >>> dataset = build_default_dataset()
+        >>> service = PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+        >>> replies = service.rank_many([
+        ...     RankingQuery(app, tuple(dataset.machine_ids[:4]), top_n=1)
+        ...     for app in ("gcc", "mcf", "lbm")
+        ... ])
+        >>> [reply.cache_hit for reply in replies]   # one pass answers all three
+        [False, True, True]
+    """
+
+    def __init__(
+        self,
+        dataset: SpecDataset,
+        methods: Mapping[str, RankingMethod],
+        cache: SplitContextCache | None = None,
+    ) -> None:
+        if not methods:
+            raise ValueError("at least one ranking method is required")
+        self.dataset = dataset
+        self.methods = dict(methods)
+        self.cache = cache if cache is not None else SplitContextCache()
+        self._benchmarks = set(dataset.benchmark_names)
+        self._machines = set(dataset.machine_ids)
+
+    # ------------------------------------------------------------ validation
+    def split_for(self, query: RankingQuery) -> MachineSplit:
+        """The :class:`~repro.data.splits.MachineSplit` a query addresses.
+
+        Defaulted target machines (every non-predictive dataset machine)
+        are resolved here, in matrix column order, so equal queries map to
+        equal splits and therefore the same cache entry.
+        """
+        self.validate(query)
+        predictive = query.predictive_machines
+        if query.target_machines is not None:
+            targets = query.target_machines
+        else:
+            owned = set(predictive)
+            targets = tuple(mid for mid in self.dataset.machine_ids if mid not in owned)
+            if not targets:
+                raise ServiceError("no target machines remain after removing predictive ones")
+        try:
+            return MachineSplit(
+                name=f"service:{len(predictive)}p->{len(targets)}t",
+                predictive_ids=predictive,
+                target_ids=targets,
+            )
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from None
+
+    def validate(self, query: RankingQuery) -> None:
+        """Raise :class:`ServiceError` when a query cannot be answered."""
+        if query.application not in self._benchmarks:
+            raise ServiceError(f"unknown application {query.application!r}")
+        if query.method not in self.methods:
+            raise ServiceError(
+                f"unknown method {query.method!r} (serving: {sorted(self.methods)})"
+            )
+        if not query.predictive_machines:
+            raise ServiceError("at least one predictive machine is required")
+        for label, ids in (
+            ("predictive", query.predictive_machines),
+            ("target", query.target_machines or ()),
+        ):
+            unknown = [mid for mid in ids if mid not in self._machines]
+            if unknown:
+                raise ServiceError(f"unknown machines: {unknown}")
+            if len(set(ids)) != len(ids):
+                duplicates = sorted({mid for mid in ids if ids.count(mid) > 1})
+                raise ServiceError(f"duplicate {label} machines: {duplicates}")
+
+    # --------------------------------------------------------------- serving
+    def _state_for(self, split: MachineSplit) -> _SplitState:
+        key = split_cache_key(self.dataset, split)
+        state, _ = self.cache.get_or_create(
+            key, lambda: _SplitState(split, split_fingerprint(self.dataset, split))
+        )
+        return state
+
+    def rank(self, query: RankingQuery) -> RankingReply:
+        """Answer one query (see :meth:`rank_many` for the batch form)."""
+        return self.rank_many([query])[0]
+
+    def rank_many(self, queries: Sequence[RankingQuery]) -> list[RankingReply]:
+        """Answer a batch of queries, one reply per query, in order.
+
+        Queries sharing a (split, method) pair are answered from one
+        trained score table: the first of them triggers the batched tensor
+        pass (or a cache hit from an earlier batch), the rest are lookups.
+        """
+        replies: list[RankingReply] = []
+        for query in queries:
+            split = self.split_for(query)
+            state = self._state_for(split)
+            scores, warm = state.scores_for(
+                self.dataset, query.method, self.methods[query.method], query.application
+            )
+            ranking = MachineRanking.from_scores(split.target_ids, scores)
+            ordered = ranking.ordered_ids()
+            if query.top_n is not None:
+                ordered = ordered[: query.top_n]
+            score_by_id = dict(zip(split.target_ids, (float(s) for s in scores)))
+            replies.append(
+                RankingReply(
+                    application=query.application,
+                    method=query.method,
+                    machine_ids=tuple(ordered),
+                    scores=tuple(score_by_id[mid] for mid in ordered),
+                    cache_hit=warm,
+                    split_fingerprint=state.fingerprint,
+                )
+            )
+        return replies
+
+    # ------------------------------------------------------------ inspection
+    def cache_stats(self) -> CacheStats:
+        """Counters of the underlying split-state cache."""
+        return self.cache.stats()

@@ -1,0 +1,155 @@
+"""Asyncio micro-batching front end.
+
+A serving process receives queries one at a time, but the engine underneath
+is happiest answering them in bulk: queries that address the same machine
+split share one trained score table, so handing them to
+:meth:`~repro.service.api.PredictionService.rank_many` as a single batch
+trains once instead of racing to train concurrently.  :class:`MicroBatcher`
+provides that coalescing for asyncio front ends (the TCP server): requests
+arriving within a small window are collected and dispatched as one stacked
+batch call, and each caller awaits only its own reply.
+
+Replies are position-aligned with the submitted queries, so coalescing is
+invisible to callers: a batch of queries produces exactly the replies the
+same queries would produce one at a time (the determinism tests pin this).
+
+Examples::
+
+    >>> import asyncio
+    >>> from repro.core import BatchedLinearTransposition
+    >>> from repro.data import build_default_dataset
+    >>> from repro.service.api import PredictionService, RankingQuery
+    >>> dataset = build_default_dataset()
+    >>> service = PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+    >>> async def ask(apps):
+    ...     batcher = MicroBatcher(service, window=0.001)
+    ...     machines = tuple(dataset.machine_ids[:4])
+    ...     return await asyncio.gather(
+    ...         *(batcher.submit(RankingQuery(app, machines, top_n=1)) for app in apps)
+    ...     )
+    >>> replies = asyncio.run(ask(["gcc", "mcf", "lbm"]))
+    >>> [reply.application for reply in replies]
+    ['gcc', 'mcf', 'lbm']
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.api import PredictionService, RankingQuery, RankingReply
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce concurrent ranking queries into stacked batch calls.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.api.PredictionService` answering the
+        batches.
+    window:
+        Seconds to wait after the first pending request before flushing; a
+        small value (default 2 ms) bounds the latency a lone request pays
+        for the chance of being batched.
+    max_batch:
+        Flush immediately once this many requests are pending, without
+        waiting for the window.
+
+    Notes
+    -----
+    The batch is answered on the event loop's default thread-pool executor,
+    so a cold training pass (seconds under the ``full`` preset) never
+    freezes the loop — other connections keep being accepted and answered
+    while a batch trains.  Invalid queries fail their own caller with
+    :class:`~repro.service.api.ServiceError` — they never poison the other
+    requests in the batch, and a caller that disappears (cancelled future)
+    never prevents the rest of its batch from being answered.
+    """
+
+    def __init__(
+        self, service: PredictionService, window: float = 0.002, max_batch: int = 64
+    ) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.service = service
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._pending: list[tuple[RankingQuery, asyncio.Future]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        #: Number of flushes dispatched (for tests and throughput benches).
+        self.batches_dispatched = 0
+        #: Total requests answered across all flushes.
+        self.requests_served = 0
+
+    async def submit(self, query: RankingQuery) -> RankingReply:
+        """Enqueue one query and await its reply.
+
+        The first pending request arms the flush timer; subsequent requests
+        inside the window ride the same batch.  Reaching ``max_batch``
+        flushes immediately.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((query, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.window, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        """Dispatch every pending request as one batch call."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        # Weed out invalid queries individually so one bad request cannot
+        # fail the whole batch (split_for covers name and shape validation).
+        # Futures may already be done (caller gone) — never touch those.
+        valid: list[tuple[RankingQuery, asyncio.Future]] = []
+        for query, future in batch:
+            try:
+                self.service.split_for(query)
+            except Exception as exc:
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                valid.append((query, future))
+        self.batches_dispatched += 1
+        self.requests_served += len(valid)
+        if not valid:
+            return
+        # Run the engine pass off the event loop: a cold split training can
+        # take seconds, and other connections must stay responsive.
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(
+            None, self.service.rank_many, [query for query, _ in valid]
+        )
+        task.add_done_callback(lambda done: self._deliver(valid, done))
+
+    @staticmethod
+    def _deliver(
+        valid: "list[tuple[RankingQuery, asyncio.Future]]", done: asyncio.Future
+    ) -> None:
+        """Resolve each caller's future from the finished batch call."""
+        try:
+            replies = done.result()
+        except Exception as exc:  # pragma: no cover - engine failure path
+            for _, future in valid:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), reply in zip(valid, replies):
+            if not future.done():
+                future.set_result(reply)
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting for the next flush."""
+        return len(self._pending)

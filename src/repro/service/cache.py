@@ -1,0 +1,273 @@
+"""LRU+TTL cache for trained split state.
+
+The expensive object in the serving path is the trained state of one
+``(dataset, split)`` pair — the stacked leave-one-out predictions a
+:class:`~repro.core.batch.BatchedRankingMethod` produces in one tensor
+pass.  :class:`SplitContextCache` keeps those objects warm between queries:
+
+* keys are the stable content addresses of
+  :func:`repro.core.batch.split_cache_key` (dataset fingerprint +
+  predictive/target machine ids), so two clients presenting the same
+  machine sets against byte-identical scores share one entry;
+* entries are held in **LRU** order with an optional **TTL**, so a serving
+  process neither grows without bound nor serves stale state after the
+  configured lifetime; and
+* entries are distributed over independently locked **shards** (routed by a
+  seed-independent CRC of the key), so concurrent queries against different
+  splits never contend on one lock.
+
+The cache is value-agnostic: the service stores its per-split state in it,
+but any hashable-key/opaque-value pair works, which keeps the eviction
+semantics directly testable.
+
+Examples::
+
+    >>> cache = SplitContextCache(capacity=2, n_shards=1)
+    >>> cache.put("split-a", 1)
+    >>> cache.put("split-b", 2)
+    >>> cache.get("split-a")
+    1
+    >>> cache.put("split-c", 3)   # evicts the least recently used: split-b
+    >>> cache.get("split-b") is None
+    True
+    >>> cache.stats().evictions
+    1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "SplitContextCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing a cache's behaviour since construction.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup outcomes (an expired entry counts as a miss).
+    evictions:
+        Entries dropped because a shard exceeded its capacity.
+    expirations:
+        Entries dropped because their TTL elapsed.
+    entries:
+        Entries currently resident across all shards.
+
+    Examples::
+
+        >>> SplitContextCache(capacity=4).stats()
+        CacheStats(hits=0, misses=0, evictions=0, expirations=0, entries=0)
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    entries: int = 0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate two counters (used to sum per-shard stats)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            expirations=self.expirations + other.expirations,
+            entries=self.entries + other.entries,
+        )
+
+
+class _Shard:
+    """One independently locked LRU+TTL segment of the cache."""
+
+    def __init__(self, capacity: int, ttl: float | None, clock: Callable[[], float]) -> None:
+        self.capacity = capacity
+        self.ttl = ttl
+        self.clock = clock
+        self.lock = threading.Lock()
+        #: key -> (value, expiry timestamp or None), most recently used last.
+        self.entries: "OrderedDict[Hashable, tuple[Any, float | None]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def _expiry(self) -> float | None:
+        return None if self.ttl is None else self.clock() + self.ttl
+
+    def _drop_expired(self, key: Hashable, expiry: float | None) -> bool:
+        if expiry is not None and self.clock() >= expiry:
+            del self.entries[key]
+            self.expirations += 1
+            return True
+        return False
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self.lock:
+            entry = self.entries.get(key)
+            if entry is not None:
+                value, expiry = entry
+                if not self._drop_expired(key, expiry):
+                    self.entries.move_to_end(key)
+                    self.hits += 1
+                    return value
+            self.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self.lock:
+            self._insert(key, value)
+
+    def _insert(self, key: Hashable, value: Any) -> None:
+        if key in self.entries:
+            del self.entries[key]
+        while len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+            self.evictions += 1
+        self.entries[key] = (value, self._expiry())
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> tuple[Any, bool]:
+        with self.lock:
+            entry = self.entries.get(key)
+            if entry is not None:
+                value, expiry = entry
+                if not self._drop_expired(key, expiry):
+                    self.entries.move_to_end(key)
+                    self.hits += 1
+                    return value, True
+            self.misses += 1
+            value = factory()
+            self._insert(key, value)
+            return value, False
+
+    def stats(self) -> CacheStats:
+        with self.lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                expirations=self.expirations,
+                entries=len(self.entries),
+            )
+
+    def clear(self) -> None:
+        with self.lock:
+            self.entries.clear()
+
+
+class SplitContextCache:
+    """Sharded LRU+TTL cache keyed by split content address.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident entries across all shards.  The budget
+        is divided over the shards (the first ``capacity % n_shards``
+        shards hold one extra entry), so the total can never exceed
+        *capacity*; when ``capacity < n_shards`` the shard count is
+        reduced to match.
+    ttl:
+        Entry lifetime in seconds measured from insertion; ``None`` (the
+        default) disables expiry.  A lookup past the lifetime behaves as a
+        miss and drops the entry.
+    n_shards:
+        Number of independently locked segments.  Keys are routed with a
+        seed-independent CRC so placement is reproducible across processes;
+        use ``n_shards=1`` when deterministic *global* LRU order matters
+        (e.g. in eviction tests).
+    clock:
+        Monotonic time source, injectable for tests.
+
+    Examples::
+
+        >>> ticks = iter(range(100))
+        >>> cache = SplitContextCache(capacity=4, ttl=5.0, clock=lambda: next(ticks))
+        >>> cache.put("key", "value")          # inserted at t=0, expires at t=5
+        >>> cache.get("key")                   # t=1: still fresh
+        'value'
+        >>> [cache.get("key") for _ in range(4)][-1] is None   # t=5: expired
+        True
+        >>> cache.stats().expirations
+        1
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl: float | None = None,
+        n_shards: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable expiry)")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.capacity = int(capacity)
+        self.ttl = ttl
+        n_shards = min(n_shards, self.capacity)
+        base, extra = divmod(self.capacity, n_shards)
+        self._shards = tuple(
+            _Shard(base + (1 if index < extra else 0), ttl, clock)
+            for index in range(n_shards)
+        )
+
+    # ------------------------------------------------------------- routing
+    def shard_index(self, key: Hashable) -> int:
+        """Deterministic shard routing for *key* (stable across processes).
+
+        Uses CRC-32 of ``repr(key)`` rather than :func:`hash`, which varies
+        per process under ``PYTHONHASHSEED`` randomisation.
+        """
+        return zlib.crc32(repr(key).encode()) % len(self._shards)
+
+    def _shard(self, key: Hashable) -> _Shard:
+        return self._shards[self.shard_index(key)]
+
+    # ------------------------------------------------------------- operations
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Value stored under *key*, or *default* on a miss/expiry."""
+        return self._shard(key).get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert *value* under *key* (refreshing LRU position and TTL)."""
+        self._shard(key).put(key, value)
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> tuple[Any, bool]:
+        """Return ``(value, hit)``, building the value on a miss.
+
+        The factory runs under the shard lock, so concurrent requests for
+        the same key trigger exactly one build; requests for keys on other
+        shards proceed unblocked in parallel.
+        """
+        return self._shard(key).get_or_create(key, factory)
+
+    # ------------------------------------------------------------- inspection
+    def stats(self) -> CacheStats:
+        """Aggregated counters across all shards."""
+        total = CacheStats()
+        for shard in self._shards:
+            total = total + shard.stats()
+        return total
+
+    def clear(self) -> None:
+        """Drop every resident entry (counters are preserved)."""
+        for shard in self._shards:
+            shard.clear()
+
+    def __len__(self) -> int:
+        """Number of resident entries across all shards."""
+        return self.stats().entries
+
+    @property
+    def n_shards(self) -> int:
+        """Number of independently locked shards."""
+        return len(self._shards)

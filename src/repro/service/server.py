@@ -1,0 +1,457 @@
+"""``repro-serve`` — the prediction server and its wire protocol.
+
+Runs a :class:`~repro.service.api.PredictionService` behind one of two
+front ends, both speaking newline-delimited JSON (one object per line):
+
+* **stdio** (default): read queries from stdin, write replies to stdout —
+  composes with shell pipelines and is what the examples and docs drive;
+* **TCP** (``--tcp HOST:PORT``): an asyncio server where concurrent client
+  requests are coalesced by the :class:`~repro.service.batching.
+  MicroBatcher` into stacked batch calls.
+
+Request objects::
+
+    {"application": "gcc", "predictive_machines": ["m001", "m002"],
+     "target_machines": ["m010", "m011"],        # optional: default = rest
+     "method": "NN^T", "top_n": 3}               # both optional
+    {"stats": true}                              # cache/serving counters
+
+Reply objects (one line per request, in request order)::
+
+    {"ok": true, "application": "gcc", "method": "NN^T", "cache_hit": false,
+     "ranking": [{"machine": "m011", "score": 41.2}, ...]}
+    {"ok": false, "error": "unknown application 'gzip'"}
+
+Invoke as ``python -m repro.service`` (the installed alias is
+``repro-serve``) or through the experiments CLI as
+``repro-experiments serve``; see ``docs/serving.md`` for a walkthrough.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import sys
+from typing import Any, Mapping, TextIO
+
+from repro.data.spec_dataset import build_default_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import standard_methods
+from repro.service.api import PredictionService, RankingQuery, RankingReply, ServiceError
+from repro.service.batching import MicroBatcher
+from repro.service.cache import SplitContextCache
+
+__all__ = [
+    "InProcessClient",
+    "build_service",
+    "main",
+    "query_from_payload",
+    "reply_to_payload",
+    "serve_stdio",
+    "serve_tcp",
+]
+
+
+# ------------------------------------------------------------------ protocol
+def query_from_payload(payload: Mapping[str, Any]) -> RankingQuery:
+    """Parse one request object into a :class:`~repro.service.api.RankingQuery`.
+
+    Raises :class:`~repro.service.api.ServiceError` on malformed payloads so
+    front ends can answer with an error line instead of dying.
+
+    Examples::
+
+        >>> query = query_from_payload(
+        ...     {"application": "gcc", "predictive_machines": ["m001"], "top_n": 2}
+        ... )
+        >>> (query.application, query.method, query.top_n)
+        ('gcc', 'NN^T', 2)
+    """
+    if not isinstance(payload, Mapping):
+        raise ServiceError("request must be a JSON object")
+    unknown = set(payload) - {
+        "application",
+        "predictive_machines",
+        "target_machines",
+        "method",
+        "top_n",
+    }
+    if unknown:
+        raise ServiceError(f"unknown request fields: {sorted(unknown)}")
+    try:
+        application = payload["application"]
+        predictive = payload["predictive_machines"]
+    except KeyError as exc:
+        raise ServiceError(f"missing required field {exc.args[0]!r}") from None
+    if not isinstance(application, str):
+        raise ServiceError("application must be a string")
+    if not isinstance(predictive, (list, tuple)) or not all(
+        isinstance(mid, str) for mid in predictive
+    ):
+        raise ServiceError("predictive_machines must be a list of machine ids")
+    targets = payload.get("target_machines")
+    if targets is not None and (
+        not isinstance(targets, (list, tuple))
+        or not all(isinstance(mid, str) for mid in targets)
+    ):
+        raise ServiceError("target_machines must be a list of machine ids")
+    top_n = payload.get("top_n")
+    if top_n is not None and (isinstance(top_n, bool) or not isinstance(top_n, int)):
+        raise ServiceError("top_n must be an integer")
+    method = payload.get("method", "NN^T")
+    if not isinstance(method, str):
+        raise ServiceError("method must be a string")
+    return RankingQuery(
+        application=application,
+        predictive_machines=tuple(predictive),
+        target_machines=tuple(targets) if targets is not None else None,
+        method=method,
+        top_n=top_n,
+    )
+
+
+def reply_to_payload(reply: RankingReply) -> dict[str, Any]:
+    """Serialise one reply to its wire object.
+
+    Examples::
+
+        >>> from repro.service.api import RankingReply
+        >>> payload = reply_to_payload(RankingReply(
+        ...     application="gcc", method="NN^T", machine_ids=("m9",),
+        ...     scores=(40.0,), cache_hit=True, split_fingerprint="ab",
+        ... ))
+        >>> payload["ok"], payload["ranking"]
+        (True, [{'machine': 'm9', 'score': 40.0}])
+    """
+    return {
+        "ok": True,
+        "application": reply.application,
+        "method": reply.method,
+        "cache_hit": reply.cache_hit,
+        "split_fingerprint": reply.split_fingerprint,
+        "ranking": [
+            {"machine": mid, "score": score}
+            for mid, score in zip(reply.machine_ids, reply.scores)
+        ],
+    }
+
+
+def _error_payload(message: str) -> dict[str, Any]:
+    return {"ok": False, "error": message}
+
+
+def _stats_payload(service: PredictionService) -> dict[str, Any]:
+    stats = service.cache_stats()
+    return {
+        "ok": True,
+        "stats": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "expirations": stats.expirations,
+            "entries": stats.entries,
+            "methods": sorted(service.methods),
+        },
+    }
+
+
+def _answer_line(service: PredictionService, line: str) -> dict[str, Any]:
+    """One request line in, one reply object out (never raises)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return _error_payload(f"invalid JSON: {exc}")
+    if isinstance(payload, Mapping) and payload.get("stats"):
+        return _stats_payload(service)
+    try:
+        return reply_to_payload(service.rank(query_from_payload(payload)))
+    except ServiceError as exc:
+        return _error_payload(str(exc))
+
+
+# ------------------------------------------------------------------- clients
+class InProcessClient:
+    """Synchronous client driving a service through the wire protocol.
+
+    Useful in examples and tests: requests and replies take exactly the
+    shape the stdio/TCP servers exchange, without a process boundary.
+
+    Examples::
+
+        >>> from repro.core import BatchedLinearTransposition
+        >>> from repro.data import build_default_dataset
+        >>> dataset = build_default_dataset()
+        >>> client = InProcessClient(
+        ...     PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+        ... )
+        >>> reply = client.request({
+        ...     "application": "gcc",
+        ...     "predictive_machines": dataset.machine_ids[:4],
+        ...     "top_n": 1,
+        ... })
+        >>> reply["ok"], len(reply["ranking"])
+        (True, 1)
+    """
+
+    def __init__(self, service: PredictionService) -> None:
+        self.service = service
+
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request object, get its reply object."""
+        return _answer_line(self.service, json.dumps(payload))
+
+    def rank(self, query: RankingQuery) -> RankingReply:
+        """Typed convenience bypassing JSON: answer one query directly."""
+        return self.service.rank(query)
+
+
+# ------------------------------------------------------------------ frontends
+def serve_stdio(
+    service: PredictionService,
+    in_stream: TextIO | None = None,
+    out_stream: TextIO | None = None,
+) -> int:
+    """Answer newline-delimited JSON queries from *in_stream* until EOF.
+
+    Blank lines are ignored; every non-blank line yields exactly one reply
+    line.  Returns the number of replies written (handy for tests).
+
+    Examples::
+
+        >>> import io
+        >>> from repro.core import BatchedLinearTransposition
+        >>> from repro.data import build_default_dataset
+        >>> service = PredictionService(
+        ...     build_default_dataset(), {"NN^T": BatchedLinearTransposition()}
+        ... )
+        >>> out = io.StringIO()
+        >>> serve_stdio(service, io.StringIO('{"stats": true}\\n'), out)
+        1
+        >>> json.loads(out.getvalue())["ok"]
+        True
+    """
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    served = 0
+    for line in in_stream:
+        if not line.strip():
+            continue
+        print(json.dumps(_answer_line(service, line)), file=out_stream, flush=True)
+        served += 1
+    return served
+
+
+async def serve_tcp(
+    service: PredictionService,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    window: float = 0.002,
+    max_batch: int = 64,
+    batcher: MicroBatcher | None = None,
+) -> "asyncio.AbstractServer":
+    """Start the TCP front end and return the listening server.
+
+    Each connection exchanges the same newline-delimited JSON protocol as
+    the stdio front end, but ranking requests from *all* connections funnel
+    through one :class:`~repro.service.batching.MicroBatcher` (pass
+    *batcher* to share or observe it), so clients hammering the same split
+    coalesce into shared stacked passes.  Requests pipelined on one
+    connection are dispatched as they arrive — they can share a batch —
+    while replies are written strictly in request order.  The caller owns
+    the returned server (``async with server: await
+    server.serve_forever()``).
+
+    Examples::
+
+        >>> from repro.core import BatchedLinearTransposition
+        >>> from repro.data import build_default_dataset
+        >>> service = PredictionService(
+        ...     build_default_dataset(), {"NN^T": BatchedLinearTransposition()}
+        ... )
+        >>> async def probe():
+        ...     server = await serve_tcp(service, "127.0.0.1", 0)
+        ...     bound = server.sockets[0].getsockname()[1]
+        ...     server.close()
+        ...     await server.wait_closed()
+        ...     return bound > 0
+        >>> asyncio.run(probe())
+        True
+    """
+    batcher = batcher if batcher is not None else MicroBatcher(
+        service, window=window, max_batch=max_batch
+    )
+
+    async def answer(text: str) -> dict[str, Any]:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return _error_payload(f"invalid JSON: {exc}")
+        if isinstance(payload, Mapping) and payload.get("stats"):
+            return _stats_payload(service)
+        try:
+            return reply_to_payload(await batcher.submit(query_from_payload(payload)))
+        except ServiceError as exc:
+            return _error_payload(str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - engine failure path
+            # Answer tasks are awaited by the writer loop; an escaping
+            # exception would kill the whole connection instead of the one
+            # request that triggered it.
+            return _error_payload(f"internal error: {exc}")
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        # One task per request line keeps pipelined requests of the same
+        # connection eligible for micro-batch coalescing; the writer loop
+        # preserves request order on the way out.
+        pending: "asyncio.Queue[asyncio.Task | None]" = asyncio.Queue()
+
+        async def write_replies() -> None:
+            while True:
+                task = await pending.get()
+                if task is None:
+                    return
+                writer.write((json.dumps(await task) + "\n").encode())
+                await writer.drain()
+
+        write_loop = asyncio.ensure_future(write_replies())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode().strip()
+                if text:
+                    pending.put_nowait(asyncio.ensure_future(answer(text)))
+            pending.put_nowait(None)
+            await write_loop
+        finally:
+            write_loop.cancel()
+            writer.close()
+            # Last statement of the handler: suppressing cancellation here
+            # only silences the teardown race when the server closes while
+            # a connection is still draining.
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    return await asyncio.start_server(handle, host, port)
+
+
+# ---------------------------------------------------------------------- main
+def build_service(
+    preset: str = "fast",
+    cache_capacity: int = 64,
+    cache_ttl: float | None = None,
+    cache_shards: int = 4,
+    seed: int | None = None,
+) -> PredictionService:
+    """Assemble the default serving stack for one configuration preset.
+
+    The method line-up and hyper-parameters come from
+    :class:`~repro.experiments.config.ExperimentConfig` (``smoke`` /
+    ``fast`` / ``full``), so a served answer under preset *P* matches the
+    offline tables regenerated under *P*.
+
+    Examples::
+
+        >>> service = build_service(preset="smoke", cache_capacity=8, cache_shards=2)
+        >>> sorted(service.methods)
+        ['GA-kNN', 'MLP^T', 'NN^T']
+        >>> service.cache.capacity
+        8
+    """
+    presets = {
+        "fast": ExperimentConfig.fast,
+        "full": ExperimentConfig.full,
+        "smoke": ExperimentConfig.smoke,
+    }
+    if preset not in presets:
+        raise ValueError(f"unknown preset {preset!r} (choose from {sorted(presets)})")
+    config = presets[preset]()
+    if seed is not None:
+        config = dataclasses.replace(config, seed=seed)
+    dataset = build_default_dataset(noise_sigma=config.noise_sigma, seed=config.seed)
+    cache = SplitContextCache(capacity=cache_capacity, ttl=cache_ttl, n_shards=cache_shards)
+    return PredictionService(dataset, standard_methods(config), cache=cache)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve machine-ranking predictions over newline-delimited JSON.",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["smoke", "fast", "full"],
+        default="fast",
+        help="method hyper-parameter preset (default: fast)",
+    )
+    parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve over TCP instead of stdin/stdout",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=0.002,
+        help="micro-batch coalescing window in seconds (TCP mode, default 2ms)",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=64, help="max cached splits (default 64)"
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="cached split lifetime in seconds (default: no expiry)",
+    )
+    parser.add_argument(
+        "--cache-shards", type=int, default=4, help="cache lock shards (default 4)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the dataset seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-serve`` / ``python -m repro.service.server``."""
+    args = _build_parser().parse_args(argv)
+    service = build_service(
+        preset=args.preset,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        cache_shards=args.cache_shards,
+        seed=args.seed,
+    )
+    if args.tcp is None:
+        serve_stdio(service)
+        return 0
+
+    host, _, port_text = args.tcp.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--tcp expects HOST:PORT, got {args.tcp!r}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        server = await serve_tcp(service, host, int(port_text), window=args.window)
+        addresses = ", ".join(
+            f"{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in server.sockets
+        )
+        print(f"repro-serve listening on {addresses}", file=sys.stderr)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -74,6 +74,18 @@ def test_batched_mlp_matches_sequential_with_explicit_hyperparameters():
         np.testing.assert_allclose(predictions[n], reference, rtol=1e-10)
 
 
+def test_batched_mlp_single_network_stack_matches_sequential():
+    # Regression: a one-network stack used to inherit read-only broadcast
+    # views for its weights and crash inside the in-place SGD updates.
+    rng = np.random.default_rng(8)
+    features = rng.uniform(1.0, 50.0, (1, 10, 4))
+    targets = rng.uniform(1.0, 50.0, (1, 10))
+    queries = rng.uniform(1.0, 50.0, (1, 5, 4))
+    batched = BatchedMLPRegressor(epochs=50, seed=2).fit(features, targets)
+    reference = MLPRegressor(epochs=50, seed=2).fit(features[0], targets[0]).predict(queries[0])
+    np.testing.assert_allclose(batched.predict(queries)[0], reference, rtol=1e-10)
+
+
 def test_batched_mlp_validation():
     with pytest.raises(ValueError):
         BatchedMLPRegressor(hidden_units=0)

@@ -1,0 +1,456 @@
+"""Tests for the prediction service layer.
+
+Pins the serving contracts the docs promise:
+
+* cache semantics — hit/miss counters, LRU eviction order, TTL expiry,
+  deterministic shard routing;
+* equivalence — service replies are bit-identical to the offline
+  :func:`run_cross_validation` cells they correspond to;
+* micro-batching — coalesced batches answer exactly what one-at-a-time
+  queries answer, concurrent requests keep their identities, and one bad
+  request never poisons its batch.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import (
+    BatchedLinearTransposition,
+    BatchedMLPTransposition,
+    actual_ranking,
+    compare_rankings,
+    run_cross_validation,
+    split_cache_key,
+)
+from repro.core.ranking import MachineRanking
+from repro.data import build_default_dataset, family_cross_validation_splits
+from repro.service import (
+    MicroBatcher,
+    PredictionService,
+    RankingQuery,
+    ServiceError,
+    SplitContextCache,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_default_dataset()
+
+
+@pytest.fixture(scope="module")
+def splits(dataset):
+    return family_cross_validation_splits(dataset)
+
+
+def _nnt_service(dataset, **cache_kwargs):
+    cache = SplitContextCache(**cache_kwargs) if cache_kwargs else None
+    return PredictionService(dataset, {"NN^T": BatchedLinearTransposition()}, cache=cache)
+
+
+# ------------------------------------------------------------- cache semantics
+def test_cache_hit_and_miss_counters():
+    cache = SplitContextCache(capacity=4, n_shards=1)
+    assert cache.get("absent") is None
+    cache.put("key", "value")
+    assert cache.get("key") == "value"
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+
+
+def test_cache_lru_eviction_order():
+    cache = SplitContextCache(capacity=2, n_shards=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refreshes a: b is now least recent
+    cache.put("c", 3)                   # evicts b
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats().evictions == 1
+
+
+def test_cache_put_refreshes_existing_key_without_eviction():
+    cache = SplitContextCache(capacity=2, n_shards=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)                  # overwrite, not insert
+    assert len(cache) == 2
+    assert cache.stats().evictions == 0
+    assert cache.get("a") == 10
+
+
+def test_cache_ttl_expiry_with_injected_clock():
+    now = [0.0]
+    cache = SplitContextCache(capacity=4, ttl=10.0, n_shards=1, clock=lambda: now[0])
+    cache.put("key", "value")
+    now[0] = 9.9
+    assert cache.get("key") == "value"
+    now[0] = 10.0
+    assert cache.get("key") is None     # lifetime elapsed -> miss + expiration
+    stats = cache.stats()
+    assert stats.expirations == 1
+    assert stats.entries == 0
+
+
+def test_cache_get_or_create_builds_once():
+    cache = SplitContextCache(capacity=4, n_shards=1)
+    builds = []
+    value, hit = cache.get_or_create("key", lambda: builds.append(1) or "built")
+    assert (value, hit) == ("built", False)
+    value, hit = cache.get_or_create("key", lambda: builds.append(1) or "rebuilt")
+    assert (value, hit) == ("built", True)
+    assert len(builds) == 1
+
+
+def test_cache_shard_routing_is_deterministic_and_in_range():
+    cache = SplitContextCache(capacity=8, n_shards=4)
+    keys = [("fp", ("m1",), ("m2",)), ("fp", ("m3",), ("m4",)), "plain"]
+    for key in keys:
+        index = cache.shard_index(key)
+        assert 0 <= index < cache.n_shards
+        assert cache.shard_index(key) == index
+
+
+def test_cache_total_capacity_is_never_exceeded():
+    # 5 entries over 4 shards: the budget is split 2+1+1+1, so the resident
+    # total can never overshoot the configured capacity.
+    cache = SplitContextCache(capacity=5, n_shards=4)
+    for index in range(50):
+        cache.put(f"key-{index}", index)
+        assert len(cache) <= 5
+    # capacity < n_shards collapses to capacity shards of one entry each.
+    small = SplitContextCache(capacity=2, n_shards=4)
+    assert small.n_shards == 2
+    for index in range(20):
+        small.put(f"key-{index}", index)
+        assert len(small) <= 2
+
+
+def test_cache_validates_parameters():
+    with pytest.raises(ValueError):
+        SplitContextCache(capacity=0)
+    with pytest.raises(ValueError):
+        SplitContextCache(ttl=0.0)
+    with pytest.raises(ValueError):
+        SplitContextCache(n_shards=0)
+
+
+# --------------------------------------------------------------- service facade
+def test_service_cold_then_warm_replies_are_identical(dataset):
+    service = _nnt_service(dataset)
+    query = RankingQuery("gcc", tuple(dataset.machine_ids[:5]))
+    cold = service.rank(query)
+    warm = service.rank(query)
+    assert cold.cache_hit is False
+    assert warm.cache_hit is True
+    assert cold.machine_ids == warm.machine_ids
+    assert cold.scores == warm.scores
+    assert cold.split_fingerprint == warm.split_fingerprint
+
+
+def test_service_default_targets_are_all_other_machines(dataset):
+    service = _nnt_service(dataset)
+    predictive = tuple(dataset.machine_ids[:5])
+    reply = service.rank(RankingQuery("gcc", predictive))
+    assert set(reply.machine_ids) == set(dataset.machine_ids) - set(predictive)
+
+
+def test_service_top_n_truncates_but_keeps_order(dataset):
+    service = _nnt_service(dataset)
+    predictive = tuple(dataset.machine_ids[:5])
+    full = service.rank(RankingQuery("gcc", predictive))
+    top3 = service.rank(RankingQuery("gcc", predictive, top_n=3))
+    assert top3.machine_ids == full.machine_ids[:3]
+    assert top3.scores == full.scores[:3]
+    assert top3.top1 == full.top1
+
+
+def test_service_rejects_bad_queries(dataset):
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:3])
+    with pytest.raises(ServiceError):
+        service.rank(RankingQuery("not-a-benchmark", machines))
+    with pytest.raises(ServiceError):
+        service.rank(RankingQuery("gcc", ("not-a-machine",)))
+    with pytest.raises(ServiceError):
+        service.rank(RankingQuery("gcc", machines, method="XGBoost"))
+    with pytest.raises(ServiceError):
+        service.rank(RankingQuery("gcc", ()))
+    with pytest.raises(ServiceError):
+        service.rank(RankingQuery("gcc", machines, target_machines=machines))  # overlap
+    with pytest.raises(ServiceError):
+        service.rank(RankingQuery("gcc", machines + machines[:1]))  # duplicates
+    duplicated_targets = tuple(dataset.machine_ids[3:5]) + (dataset.machine_ids[3],)
+    with pytest.raises(ServiceError):
+        service.rank(RankingQuery("gcc", machines, target_machines=duplicated_targets))
+    with pytest.raises(ServiceError):
+        RankingQuery("gcc", machines, top_n=0)
+    with pytest.raises(ValueError):
+        PredictionService(dataset, {})
+
+
+def test_service_eviction_forces_retraining(dataset):
+    service = _nnt_service(dataset, capacity=1, n_shards=1)
+    first = tuple(dataset.machine_ids[:5])
+    second = tuple(dataset.machine_ids[5:10])
+    assert service.rank(RankingQuery("gcc", first)).cache_hit is False
+    assert service.rank(RankingQuery("gcc", second)).cache_hit is False  # evicts first
+    assert service.rank(RankingQuery("gcc", first)).cache_hit is False   # retrained
+    assert service.cache_stats().evictions == 2
+
+
+def test_service_ttl_expires_trained_state(dataset):
+    now = [0.0]
+    cache = SplitContextCache(capacity=8, ttl=60.0, n_shards=1, clock=lambda: now[0])
+    service = PredictionService(
+        dataset, {"NN^T": BatchedLinearTransposition()}, cache=cache
+    )
+    query = RankingQuery("gcc", tuple(dataset.machine_ids[:5]))
+    assert service.rank(query).cache_hit is False
+    now[0] = 59.0
+    assert service.rank(query).cache_hit is True
+    now[0] = 61.0
+    assert service.rank(query).cache_hit is False
+    assert service.cache_stats().expirations == 1
+
+
+def test_service_methods_fill_lazily_and_independently(dataset):
+    service = PredictionService(
+        dataset,
+        {
+            "NN^T": BatchedLinearTransposition(),
+            "MLP^T": BatchedMLPTransposition(epochs=10, seed=0),
+        },
+    )
+    machines = tuple(dataset.machine_ids[:5])
+    assert service.rank(RankingQuery("gcc", machines, method="NN^T")).cache_hit is False
+    # Same split, different method: split state is cached but MLP^T still
+    # needs its own tensor pass.
+    assert service.rank(RankingQuery("gcc", machines, method="MLP^T")).cache_hit is False
+    assert service.rank(RankingQuery("mcf", machines, method="MLP^T")).cache_hit is True
+
+
+def test_per_cell_methods_fill_one_application_at_a_time(dataset):
+    # A per-cell method must not pay for all 29 applications on the first
+    # query; its table grows per application, and only repeats are warm.
+    from repro.core import LinearTranspositionPredictor, TranspositionMethod
+
+    calls = []
+
+    class CountingPerCell(TranspositionMethod):
+        def predict_application_scores(self, dataset, split, application, training):
+            calls.append(application)
+            return super().predict_application_scores(dataset, split, application, training)
+
+    service = PredictionService(
+        dataset, {"cell": CountingPerCell(LinearTranspositionPredictor, "cell")}
+    )
+    machines = tuple(dataset.machine_ids[:5])
+    assert service.rank(RankingQuery("gcc", machines, method="cell")).cache_hit is False
+    assert calls == ["gcc"]
+    assert service.rank(RankingQuery("mcf", machines, method="cell")).cache_hit is False
+    assert calls == ["gcc", "mcf"]
+    assert service.rank(RankingQuery("gcc", machines, method="cell")).cache_hit is True
+    assert calls == ["gcc", "mcf"]
+
+
+def test_split_cache_key_is_content_addressed(dataset, splits):
+    key = split_cache_key(dataset, splits[0])
+    assert key == (dataset.fingerprint, splits[0].predictive_ids, splits[0].target_ids)
+    rebuilt = build_default_dataset()
+    assert split_cache_key(rebuilt, splits[0]) == key
+
+
+# ----------------------------------------------------- offline/online equivalence
+def test_service_matches_run_cross_validation_cell_by_cell(dataset, splits):
+    """Acceptance: service rankings are bit-identical to the offline cells."""
+    split = splits[0]
+    methods = lambda: {  # noqa: E731 - fresh instances per engine
+        "NN^T": BatchedLinearTransposition(),
+        "MLP^T": BatchedMLPTransposition(epochs=30, seed=0),
+    }
+    offline = run_cross_validation(dataset, [split], methods())
+
+    service = PredictionService(dataset, methods())
+    for name in ("NN^T", "MLP^T"):
+        for cell in offline[name].cells:
+            reply = service.rank(
+                RankingQuery(
+                    cell.application,
+                    split.predictive_ids,
+                    target_machines=split.target_ids,
+                    method=name,
+                )
+            )
+            # Rebuild the predicted ranking in the offline engine's machine
+            # order so the comparison consumes bit-identical inputs.
+            score_of = dict(zip(reply.machine_ids, reply.scores))
+            predicted = MachineRanking.from_scores(
+                split.target_ids, [score_of[mid] for mid in split.target_ids]
+            )
+            comparison = compare_rankings(
+                predicted, actual_ranking(dataset, split, cell.application)
+            )
+            assert comparison.rank_correlation == cell.rank_correlation
+            assert comparison.top1_error_percent == cell.top1_error_percent
+            assert comparison.mean_error_percent == cell.mean_error_percent
+
+
+def test_bulk_queries_share_one_tensor_pass(dataset):
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:6])
+    replies = service.rank_many(
+        [RankingQuery(app, machines) for app in dataset.benchmark_names]
+    )
+    assert [r.cache_hit for r in replies] == [False] + [True] * (len(replies) - 1)
+    assert [r.application for r in replies] == dataset.benchmark_names
+
+
+# ------------------------------------------------------------- micro-batching
+def test_microbatcher_matches_one_at_a_time_answers(dataset):
+    machines = tuple(dataset.machine_ids[:5])
+    apps = ["gcc", "mcf", "lbm", "namd", "povray"]
+    sequential = _nnt_service(dataset)
+    expected = [sequential.rank(RankingQuery(app, machines)) for app in apps]
+
+    batched_service = _nnt_service(dataset)
+
+    async def run():
+        batcher = MicroBatcher(batched_service, window=0.001)
+        return await asyncio.gather(
+            *(batcher.submit(RankingQuery(app, machines)) for app in apps)
+        )
+
+    replies = asyncio.run(run())
+    for reply, reference in zip(replies, expected):
+        assert reply.application == reference.application
+        assert reply.machine_ids == reference.machine_ids
+        assert reply.scores == reference.scores
+
+
+def test_microbatcher_coalesces_within_window(dataset):
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:5])
+
+    async def run():
+        batcher = MicroBatcher(service, window=0.005)
+        replies = await asyncio.gather(
+            *(batcher.submit(RankingQuery(app, machines)) for app in ["gcc", "mcf", "lbm"])
+        )
+        return batcher, replies
+
+    batcher, replies = asyncio.run(run())
+    assert batcher.batches_dispatched == 1
+    assert batcher.requests_served == 3
+    assert len(replies) == 3
+
+
+def test_microbatcher_concurrent_requests_keep_their_identity(dataset):
+    service = _nnt_service(dataset)
+    front = tuple(dataset.machine_ids[:5])
+    back = tuple(dataset.machine_ids[-5:])
+    queries = [
+        RankingQuery(app, machines, top_n=rank + 1)
+        for rank, (app, machines) in enumerate(
+            (app, machines)
+            for machines in (front, back)
+            for app in ("gcc", "mcf", "xalancbmk")
+        )
+    ]
+
+    async def run():
+        batcher = MicroBatcher(service, window=0.002)
+        return await asyncio.gather(*(batcher.submit(query) for query in queries))
+
+    replies = asyncio.run(run())
+    for query, reply in zip(queries, replies):
+        assert reply.application == query.application
+        assert len(reply.machine_ids) == query.top_n
+        direct = service.rank(query)
+        assert reply.machine_ids == direct.machine_ids
+        assert reply.scores == direct.scores
+
+
+def test_microbatcher_max_batch_flushes_immediately(dataset):
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:5])
+
+    async def run():
+        batcher = MicroBatcher(service, window=60.0, max_batch=2)
+        replies = await asyncio.gather(
+            *(batcher.submit(RankingQuery(app, machines)) for app in ["gcc", "mcf"])
+        )
+        return batcher, replies
+
+    # A 60s window would time the test out unless max_batch forces the flush.
+    batcher, replies = asyncio.run(asyncio.wait_for(run(), timeout=10))
+    assert batcher.batches_dispatched == 1
+    assert len(replies) == 2
+
+
+def test_microbatcher_invalid_query_fails_alone(dataset):
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:5])
+
+    async def run():
+        batcher = MicroBatcher(service, window=0.002)
+        results = await asyncio.gather(
+            batcher.submit(RankingQuery("gcc", machines)),
+            batcher.submit(RankingQuery("not-a-benchmark", machines)),
+            batcher.submit(RankingQuery("mcf", machines)),
+            return_exceptions=True,
+        )
+        return results
+
+    good, bad, also_good = asyncio.run(run())
+    assert good.application == "gcc"
+    assert isinstance(bad, ServiceError)
+    assert also_good.application == "mcf"
+
+
+def test_microbatcher_cancelled_caller_does_not_strand_the_batch(dataset):
+    # Regression: resolving a batch used to call set_exception/set_result on
+    # futures unconditionally, so a caller that vanished (cancelled future)
+    # raised InvalidStateError inside the flush and stranded its batchmates.
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:5])
+
+    async def run():
+        batcher = MicroBatcher(service, window=0.01)
+        doomed_invalid = asyncio.ensure_future(
+            batcher.submit(RankingQuery("not-a-benchmark", machines))
+        )
+        doomed_valid = asyncio.ensure_future(batcher.submit(RankingQuery("mcf", machines)))
+        survivor = asyncio.ensure_future(batcher.submit(RankingQuery("gcc", machines)))
+        await asyncio.sleep(0)  # enqueue all three before cancelling
+        doomed_invalid.cancel()
+        doomed_valid.cancel()
+        reply = await asyncio.wait_for(survivor, timeout=10)
+        return reply
+
+    reply = asyncio.run(run())
+    assert reply.application == "gcc"
+
+
+def test_service_reply_fingerprint_matches_engine_context(dataset, splits):
+    from repro.core import SplitContext
+
+    service = _nnt_service(dataset)
+    split = splits[0]
+    reply = service.rank(
+        RankingQuery("gcc", split.predictive_ids, target_machines=split.target_ids)
+    )
+    engine_split = service.split_for(
+        RankingQuery("gcc", split.predictive_ids, target_machines=split.target_ids)
+    )
+    assert reply.split_fingerprint == SplitContext.for_split(dataset, engine_split).fingerprint
+
+
+def test_microbatcher_validates_parameters(dataset):
+    service = _nnt_service(dataset)
+    with pytest.raises(ValueError):
+        MicroBatcher(service, window=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(service, max_batch=0)

@@ -1,0 +1,211 @@
+"""Tests for the repro-serve wire protocol and front ends.
+
+Covers request parsing (every malformed-payload branch answers with an
+error object, never a traceback), the stdio JSON-lines loop, the TCP front
+end with micro-batching, and the CLI dispatch from ``repro-experiments
+serve``.
+"""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.core import BatchedLinearTransposition
+from repro.data import build_default_dataset
+from repro.service import (
+    InProcessClient,
+    PredictionService,
+    RankingQuery,
+    ServiceError,
+    build_service,
+    serve_stdio,
+    serve_tcp,
+)
+from repro.service.server import query_from_payload, reply_to_payload
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_default_dataset()
+
+
+@pytest.fixture(scope="module")
+def service(dataset):
+    return PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+
+
+# ------------------------------------------------------------------ protocol
+def test_query_from_payload_round_trip(dataset):
+    payload = {
+        "application": "gcc",
+        "predictive_machines": dataset.machine_ids[:3],
+        "target_machines": dataset.machine_ids[3:6],
+        "method": "NN^T",
+        "top_n": 2,
+    }
+    query = query_from_payload(payload)
+    assert query == RankingQuery(
+        "gcc",
+        tuple(dataset.machine_ids[:3]),
+        tuple(dataset.machine_ids[3:6]),
+        "NN^T",
+        2,
+    )
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        [],  # not an object
+        {"predictive_machines": ["m"]},  # missing application
+        {"application": "gcc"},  # missing predictive machines
+        {"application": 7, "predictive_machines": ["m"]},
+        {"application": "gcc", "predictive_machines": "m001"},
+        {"application": "gcc", "predictive_machines": [1, 2]},
+        {"application": "gcc", "predictive_machines": ["m"], "target_machines": "m"},
+        {"application": "gcc", "predictive_machines": ["m"], "top_n": "3"},
+        {"application": "gcc", "predictive_machines": ["m"], "top_n": True},
+        {"application": "gcc", "predictive_machines": ["m"], "method": 5},
+        {"application": "gcc", "predictive_machines": ["m"], "surprise": True},
+    ],
+)
+def test_query_from_payload_rejects_malformed_requests(payload):
+    with pytest.raises(ServiceError):
+        query_from_payload(payload)
+
+
+def test_reply_payload_shape(service, dataset):
+    reply = service.rank(RankingQuery("gcc", tuple(dataset.machine_ids[:4]), top_n=2))
+    payload = reply_to_payload(reply)
+    assert payload["ok"] is True
+    assert payload["application"] == "gcc"
+    assert [entry["machine"] for entry in payload["ranking"]] == list(reply.machine_ids)
+    assert all(isinstance(entry["score"], float) for entry in payload["ranking"])
+    # The whole payload must survive JSON serialisation (the wire format).
+    assert json.loads(json.dumps(payload)) == payload
+
+
+# ----------------------------------------------------------------- in-process
+def test_in_process_client_speaks_the_wire_protocol(service, dataset):
+    client = InProcessClient(service)
+    reply = client.request(
+        {"application": "mcf", "predictive_machines": dataset.machine_ids[:4], "top_n": 1}
+    )
+    assert reply["ok"] is True and len(reply["ranking"]) == 1
+    error = client.request({"application": "mcf"})
+    assert error["ok"] is False and "predictive_machines" in error["error"]
+    stats = client.request({"stats": True})
+    assert stats["ok"] is True and stats["stats"]["entries"] >= 1
+
+
+# ---------------------------------------------------------------------- stdio
+def test_serve_stdio_answers_one_line_per_request(service, dataset):
+    machines = dataset.machine_ids[:4]
+    lines = "\n".join(
+        [
+            json.dumps({"application": "gcc", "predictive_machines": machines, "top_n": 2}),
+            "",  # blank lines are skipped
+            "not json",
+            json.dumps({"application": "gcc", "predictive_machines": ["bogus"]}),
+            json.dumps({"stats": True}),
+        ]
+    )
+    out = io.StringIO()
+    served = serve_stdio(service, io.StringIO(lines), out)
+    replies = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert served == len(replies) == 4
+    assert replies[0]["ok"] is True
+    assert [entry["machine"] for entry in replies[0]["ranking"]]
+    assert replies[1]["ok"] is False and "invalid JSON" in replies[1]["error"]
+    assert replies[2]["ok"] is False and "bogus" in replies[2]["error"]
+    assert replies[3]["ok"] is True and "stats" in replies[3]
+
+
+# ------------------------------------------------------------------------ tcp
+def test_serve_tcp_round_trip(service, dataset):
+    machines = dataset.machine_ids[:4]
+
+    async def run():
+        server = await serve_tcp(service, "127.0.0.1", 0, window=0.001)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        requests = [
+            {"application": "gcc", "predictive_machines": machines, "top_n": 1},
+            {"application": "namd", "predictive_machines": machines, "top_n": 1},
+            {"application": "gcc", "predictive_machines": ["bogus"]},
+            {"stats": True},
+        ]
+        for request in requests:
+            writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        replies = [json.loads(await reader.readline()) for _ in requests]
+        writer.close()
+        await writer.wait_closed()
+        server.close()
+        await server.wait_closed()
+        return replies
+
+    replies = asyncio.run(asyncio.wait_for(run(), timeout=30))
+    assert replies[0]["ok"] is True and replies[0]["application"] == "gcc"
+    assert replies[1]["ok"] is True and replies[1]["application"] == "namd"
+    assert replies[2]["ok"] is False and "bogus" in replies[2]["error"]
+    assert replies[3]["ok"] is True and replies[3]["stats"]["entries"] >= 1
+
+
+def test_serve_tcp_pipelined_requests_coalesce_and_stay_ordered(service, dataset):
+    from repro.service import MicroBatcher
+
+    machines = dataset.machine_ids[:4]
+    apps = ["gcc", "mcf", "lbm", "namd", "povray"]
+    batcher = MicroBatcher(service, window=0.02)
+
+    async def run():
+        server = await serve_tcp(service, "127.0.0.1", 0, batcher=batcher)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        before = batcher.batches_dispatched
+        # Pipeline every request in one write, then read the replies.
+        writer.write(
+            "".join(
+                json.dumps({"application": app, "predictive_machines": machines, "top_n": 1})
+                + "\n"
+                for app in apps
+            ).encode()
+        )
+        await writer.drain()
+        replies = [json.loads(await reader.readline()) for _ in apps]
+        writer.close()
+        await writer.wait_closed()
+        server.close()
+        await server.wait_closed()
+        return before, replies
+
+    before, replies = asyncio.run(asyncio.wait_for(run(), timeout=30))
+    # Replies come back in request order...
+    assert [reply["application"] for reply in replies] == apps
+    # ...and same-connection pipelined requests shared batches instead of
+    # dispatching one batch per request.
+    assert batcher.batches_dispatched - before < len(apps)
+
+
+# ------------------------------------------------------------------------ cli
+def test_build_service_applies_preset_and_rejects_unknown():
+    service = build_service(preset="smoke", cache_capacity=8, cache_shards=2)
+    assert set(service.methods) == {"NN^T", "MLP^T", "GA-kNN"}
+    assert service.cache.capacity == 8
+    assert service.cache.n_shards == 2
+    with pytest.raises(ValueError):
+        build_service(preset="warp-speed")
+
+
+def test_cli_dispatches_serve_subcommand(dataset, capsys, monkeypatch):
+    from repro import cli
+
+    machines = dataset.machine_ids[:4]
+    request = json.dumps({"application": "gcc", "predictive_machines": machines, "top_n": 1})
+    monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+    assert cli.main(["serve", "--preset", "smoke"]) == 0
+    reply = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+    assert reply["ok"] is True and len(reply["ranking"]) == 1
