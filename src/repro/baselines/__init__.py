@@ -1,10 +1,11 @@
 """Baselines: the GA-kNN prior art and naive purchasing heuristics."""
 
-from repro.baselines.ga_knn import GAKNNBaseline
+from repro.baselines.ga_knn import BatchedGAKNN, GAKNNBaseline
 from repro.baselines.naive import DomainMeanBaseline, SuiteMeanBaseline
 from repro.baselines.proxy import MostSimilarBenchmarkBaseline
 
 __all__ = [
+    "BatchedGAKNN",
     "DomainMeanBaseline",
     "GAKNNBaseline",
     "MostSimilarBenchmarkBaseline",

@@ -5,11 +5,15 @@ Installed as ``repro-experiments``.  Examples::
     repro-experiments table2                 # fast preset
     repro-experiments table3 --preset full   # paper-faithful (slow)
     repro-experiments all --preset fast
+    repro-experiments list-methods           # the method registry
     repro-experiments serve --preset smoke   # the prediction server
 
 ``serve`` delegates to the prediction server (``repro-serve``,
-:mod:`repro.service.server`) and forwards every following argument to it;
-see ``docs/serving.md``.
+:mod:`repro.service.server`) and forwards every following argument to it
+(see ``docs/serving.md``); ``list-methods`` prints the engine's method
+registry — every registered ranking method with its capabilities and the
+array backend it would run on — so users can discover what ``--method`` /
+``methods=`` names mean without reading source.
 """
 
 from __future__ import annotations
@@ -35,7 +39,40 @@ from repro.experiments import (
     run_table4,
 )
 
-__all__ = ["main"]
+__all__ = ["format_method_registry", "main"]
+
+
+def format_method_registry() -> str:
+    """The method registry as an aligned text table.
+
+    One row per registered method: name, canonical label, capabilities,
+    the array backend a backend-capable method would run on right now
+    (honouring ``REPRO_BACKEND``; ``-`` for pure-NumPy methods), and the
+    one-line description.
+    """
+    from repro.core.backends import resolve_backend
+    from repro.core.engine import registered_methods
+
+    active_backend = resolve_backend().name
+    header = ("name", "label", "capabilities", "backend", "description")
+    rows = [header]
+    for spec in registered_methods():
+        rows.append(
+            (
+                spec.name,
+                spec.label,
+                ", ".join(sorted(spec.capabilities)),
+                active_backend if "backend" in spec.capabilities else "-",
+                spec.description,
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header) - 1)]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)) + f"  {row[-1]}"
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths) + "  " + "-" * 11)
+    return "\n".join(line.rstrip() for line in lines)
 
 _PRESETS: dict[str, Callable[[], ExperimentConfig]] = {
     "fast": ExperimentConfig.fast,
@@ -48,7 +85,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the data-transposition paper.",
-        epilog="'repro-experiments serve' starts the prediction server (repro-serve).",
+        epilog="'repro-experiments serve' starts the prediction server (repro-serve); "
+        "'repro-experiments list-methods' prints the method registry.",
     )
     parser.add_argument(
         "experiment",
@@ -69,13 +107,17 @@ def main(argv: list[str] | None = None) -> int:
     """Run the requested experiment(s) and print the text report.
 
     ``serve`` is dispatched to :func:`repro.service.server.main` with the
-    remaining arguments; everything else is parsed as an experiment name.
+    remaining arguments, ``list-methods`` prints the engine's method
+    registry; everything else is parsed as an experiment name.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
         from repro.service.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "list-methods":
+        print(format_method_registry())
+        return 0
     args = _build_parser().parse_args(argv)
     config = _PRESETS[args.preset]()
     if args.seed is not None:

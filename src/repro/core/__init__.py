@@ -1,5 +1,6 @@
 """Core: the data-transposition method and its evaluation pipeline."""
 
+from repro.core.backends import ArrayBackend, available_backends, resolve_backend
 from repro.core.batch import (
     BatchedLinearTransposition,
     BatchedMLPTransposition,
@@ -7,6 +8,22 @@ from repro.core.batch import (
     SplitContext,
     split_cache_key,
     supports_batched_prediction,
+)
+from repro.core.engine import (
+    DEFAULT_METHOD,
+    CapabilityMismatchError,
+    DuplicateMethodError,
+    MethodParams,
+    MethodRegistryError,
+    MethodSpec,
+    UnknownMethodError,
+    create_method,
+    create_methods,
+    method_spec,
+    register_method,
+    registered_methods,
+    resolve_methods,
+    unregister_method,
 )
 from repro.core.linear_predictor import LinearFitDetail, LinearTranspositionPredictor
 from repro.core.mlp_predictor import MLPTranspositionPredictor
@@ -32,16 +49,23 @@ from repro.core.pipeline import (
 )
 
 __all__ = [
+    "ArrayBackend",
     "BatchedLinearTransposition",
     "BatchedMLPTransposition",
     "BatchedRankingMethod",
+    "CapabilityMismatchError",
     "CellResult",
+    "DEFAULT_METHOD",
     "DataTransposition",
+    "DuplicateMethodError",
     "LinearFitDetail",
     "LinearTranspositionPredictor",
     "MLPTranspositionPredictor",
     "MachineRanking",
+    "MethodParams",
+    "MethodRegistryError",
     "MethodResults",
+    "MethodSpec",
     "MethodSummary",
     "RankingComparison",
     "RankingMethod",
@@ -49,14 +73,24 @@ __all__ = [
     "TranspositionMethod",
     "TranspositionPredictor",
     "TranspositionResult",
+    "UnknownMethodError",
     "actual_ranking",
+    "available_backends",
     "compare_rankings",
+    "create_method",
+    "create_methods",
     "machine_feature_matrix",
+    "method_spec",
     "predict_split_scores",
+    "register_method",
+    "registered_methods",
+    "resolve_backend",
+    "resolve_methods",
     "run_cross_validation",
     "split_cache_key",
     "supports_batched_prediction",
     "select_farthest_point",
     "select_k_medoids",
     "select_random",
+    "unregister_method",
 ]

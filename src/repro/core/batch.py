@@ -19,8 +19,12 @@ application axis:
   networks of a split simultaneously with
   :class:`~repro.ml.batched_mlp.BatchedMLPRegressor`.
 
-Methods without a batched entry point (GA-kNN) keep using the per-cell path;
-the pipeline dispatches per method via :func:`supports_batched_prediction`.
+GA-kNN's batched entry point lives with its baseline
+(:class:`repro.baselines.ga_knn.BatchedGAKNN`); methods without one keep
+using the per-cell path, and the pipeline dispatches per method via
+:func:`supports_batched_prediction`.  Method *construction* is the
+registry's job (:mod:`repro.core.engine`) — this module only defines the
+implementations and the batch protocol.
 
 The module also provides the cache hooks the online prediction service
 (:mod:`repro.service`) builds on: :func:`split_cache_key` derives a stable,
@@ -317,18 +321,24 @@ class BatchedLinearTransposition(TranspositionMethod):
     """
 
     def __init__(
-        self, selection_criterion: str = "rss", top_k: int = 1, name: str = "NN^T"
+        self,
+        selection_criterion: str = "rss",
+        top_k: int = 1,
+        name: str = "NN^T",
+        backend: "str | object | None" = None,
     ) -> None:
         super().__init__(
             partial(
                 LinearTranspositionPredictor,
                 selection_criterion=selection_criterion,
                 top_k=top_k,
+                backend=backend,
             ),
             name,
         )
         self.selection_criterion = selection_criterion
         self.top_k = int(top_k)
+        self.backend = backend
 
     def predict_all_applications(
         self,
@@ -374,6 +384,7 @@ class BatchedMLPTransposition(TranspositionMethod):
         seed: int = 0,
         gradient_clip: float = MLPRegressor.GRADIENT_CLIP,
         name: str = "MLP^T",
+        backend: "str | object | None" = None,
     ) -> None:
         super().__init__(
             partial(
@@ -393,6 +404,7 @@ class BatchedMLPTransposition(TranspositionMethod):
         self.momentum = float(momentum)
         self.seed = int(seed)
         self.gradient_clip = float(gradient_clip)
+        self.backend = backend
 
     def predict_all_applications(
         self,
@@ -416,6 +428,7 @@ class BatchedMLPTransposition(TranspositionMethod):
             epochs=self.epochs,
             seed=self.seed,
             gradient_clip=self.gradient_clip,
+            backend=self.backend,
         )
         predictions = model.fit(features, targets).predict(queries)    # (N, T)
         return {app: predictions[i] for i, app in enumerate(applications)}

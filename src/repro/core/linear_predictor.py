@@ -84,13 +84,19 @@ class LinearTranspositionPredictor:
         explores small ensembles.
     """
 
-    def __init__(self, selection_criterion: str = "rss", top_k: int = 1) -> None:
+    def __init__(
+        self,
+        selection_criterion: str = "rss",
+        top_k: int = 1,
+        backend: "str | object | None" = None,
+    ) -> None:
         if selection_criterion not in {"rss", "correlation"}:
             raise ValueError("selection_criterion must be 'rss' or 'correlation'")
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
         self.selection_criterion = selection_criterion
         self.top_k = int(top_k)
+        self.backend = backend
         self.fit_details_: list[LinearFitDetail] = []
 
     # ------------------------------------------------------------- internals
@@ -251,28 +257,23 @@ class LinearTranspositionPredictor:
         if any(not 0 <= r < n_benchmarks for r in row_indices):
             raise ValueError("rows must index benchmark rows")
 
-        # Full-set sufficient statistics, computed once.
-        mean_x = pred.mean(axis=0)                                # (P,)
-        mean_y = target.mean(axis=0)                              # (T,)
-        dx = pred - mean_x[None, :]                               # (B, P)
-        dy = target - mean_y[None, :]                             # (B, T)
-        sxx_full = (dx**2).sum(axis=0)                            # (P,)
-        syy_full = (dy**2).sum(axis=0)                            # (T,)
-        sxy_full = dx.T @ dy                                      # (P, T)
-
         # Downdating identities for removing row r (sample count B -> B - 1):
         #   mean' = (B * mean - row_r) / (B - 1)
         #   S'    = S - B / (B - 1) * (row_r - mean) ** 2   (and the cross term)
-        factor = n_benchmarks / (n_benchmarks - 1.0)
-        predictions = np.empty((len(row_indices), n_target))
-        for i, r in enumerate(row_indices):
-            sxx = np.clip(sxx_full - factor * dx[r] ** 2, 0.0, None)
-            syy = np.clip(syy_full - factor * dy[r] ** 2, 0.0, None)
-            sxy = sxy_full - factor * np.outer(dx[r], dy[r])
-            loo_mean_x = (n_benchmarks * mean_x - pred[r]) / (n_benchmarks - 1)
-            loo_mean_y = (n_benchmarks * mean_y - target[r]) / (n_benchmarks - 1)
+        # The stacked statistics kernel is backend-pluggable; the NumPy
+        # reference computes each row's downdate with the historical
+        # arithmetic, so predictions are bit-identical to the per-row loop.
+        from repro.core.backends import resolve_backend
+
+        row_array = np.fromiter(row_indices, dtype=np.intp)
+        sxx_all, syy_all, sxy_all, mean_x_all, mean_y_all = resolve_backend(
+            self.backend
+        ).nnt_downdated_statistics(pred, target, row_array)
+
+        predictions = np.empty((len(row_array), n_target))
+        for i, r in enumerate(row_array):
             slopes, intercepts, _, quality = self._fit_from_statistics(
-                sxx, syy, sxy, loo_mean_x, loo_mean_y
+                sxx_all[i], syy_all[i], sxy_all[i], mean_x_all[i], mean_y_all[i]
             )
             predictions[i], _ = self._select_predictions(
                 slopes, intercepts, quality, pred[r]

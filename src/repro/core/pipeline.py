@@ -8,10 +8,17 @@ and figure of the evaluation is produced by this single driver.
 
 The driver is a *batched* engine: per split it builds the shared working
 set once (:class:`~repro.core.batch.SplitContext`) and, for methods that
-implement :class:`~repro.core.batch.BatchedRankingMethod`, evaluates all
-leave-one-out applications in a single vectorised pass.  Methods without a
-batched entry point fall back to the historical per-cell loop, and an
-opt-in ``n_jobs`` process pool fans the splits out across cores for them.
+implement :class:`~repro.core.batch.BatchedRankingMethod` (the standard
+NNᵀ/MLPᵀ/GA-kNN line-up all does), evaluates all leave-one-out
+applications in a single vectorised pass.  Methods without a batched entry
+point fall back to the historical per-cell loop, and an opt-in ``n_jobs``
+process pool fans the splits out across cores for them.
+
+Method resolution goes through the registry (:mod:`repro.core.engine`):
+callers may pass registered method *names* instead of instances, and this
+module never branches on a method name itself — capability dispatch
+(:func:`~repro.core.batch.supports_batched_prediction`) is the only
+per-method decision it makes.
 
 :func:`predict_split_scores` is the shared fit/predict entry point beneath
 both consumers of the engine: this offline cross-validation driver and the
@@ -29,6 +36,7 @@ from typing import Mapping, Protocol, Sequence
 import numpy as np
 
 from repro.core.batch import TranspositionMethod, supports_batched_prediction
+from repro.core.engine import resolve_methods
 from repro.core.ranking import MachineRanking, compare_rankings
 from repro.core.results import CellResult, MethodResults
 from repro.data.spec_dataset import SpecDataset
@@ -78,7 +86,7 @@ def actual_ranking(dataset: SpecDataset, split: MachineSplit, application: str) 
 def predict_split_scores(
     dataset: SpecDataset,
     split: MachineSplit,
-    methods: Mapping[str, "RankingMethod"],
+    methods: "Mapping[str, RankingMethod] | Sequence[str] | str",
     applications: Sequence[str],
 ) -> dict[str, dict[str, np.ndarray]]:
     """Predicted target-machine scores for every (method, application) of one split.
@@ -98,9 +106,10 @@ def predict_split_scores(
     split:
         The predictive/target machine division to predict for.
     methods:
-        Mapping from method name to :class:`RankingMethod` (batch-capable
-        methods are detected via :func:`~repro.core.batch.
-        supports_batched_prediction`).
+        Mapping from method name to :class:`RankingMethod`, or registered
+        method name(s) resolved through :func:`repro.core.engine.
+        resolve_methods` (batch-capable methods are detected via
+        :func:`~repro.core.batch.supports_batched_prediction`).
     applications:
         Applications of interest (dataset benchmark names).
 
@@ -120,9 +129,12 @@ def predict_split_scores(
         ... )
         >>> scores["NN^T"]["gcc"].shape == (split.n_target,)
         True
+        >>> by_name = predict_split_scores(dataset, split, "NN^T", ["gcc"])
+        >>> bool(np.array_equal(by_name["NN^T"]["gcc"], scores["NN^T"]["gcc"]))
+        True
     """
     scores: dict[str, dict[str, np.ndarray]] = {}
-    for name, method in methods.items():
+    for name, method in resolve_methods(methods).items():
         if supports_batched_prediction(method):
             batched = method.predict_all_applications(dataset, split, applications)
             scores[name] = {app: np.asarray(batched[app]) for app in applications}
@@ -168,7 +180,7 @@ def _run_single_split(
 def run_cross_validation(
     dataset: SpecDataset,
     splits: Sequence[MachineSplit],
-    methods: Mapping[str, RankingMethod],
+    methods: "Mapping[str, RankingMethod] | Sequence[str] | str",
     applications: Sequence[str] | None = None,
     n_jobs: int = 1,
 ) -> dict[str, MethodResults]:
@@ -182,8 +194,10 @@ def run_cross_validation(
         Machine splits to evaluate (e.g. the 17 family splits for Table 2,
         or a single temporal split for Table 3).
     methods:
-        Mapping from method name to a :class:`RankingMethod`.  Methods that
-        additionally implement
+        Mapping from method name to a :class:`RankingMethod`, or registered
+        method name(s) (``["NN^T", "GA-kNN"]``, or a single name) resolved
+        through :func:`repro.core.engine.resolve_methods` with default
+        hyper-parameters.  Methods that additionally implement
         :class:`~repro.core.batch.BatchedRankingMethod` are evaluated with
         one batched pass per split instead of one call per cell.
     applications:
@@ -220,6 +234,9 @@ def run_cross_validation(
         raise ValueError("at least one method is required")
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
+    # Resolve once, up front: worker processes receive built instances, and
+    # every split sees the same objects (split-level state reuse).
+    methods = resolve_methods(methods)
     app_names = list(applications) if applications is not None else dataset.benchmark_names
     unknown = set(app_names) - set(dataset.benchmark_names)
     if unknown:

@@ -1,64 +1,48 @@
 """Standard method line-up used across the experiments.
 
 Table 2, Table 3, Table 4 and Figures 6/7 all compare the same three
-methods: NNᵀ, MLPᵀ and GA-kNN.  This module builds that line-up from an
-:class:`repro.experiments.config.ExperimentConfig` so every experiment uses
-identical hyper-parameters.
+methods: NNᵀ, MLPᵀ and GA-kNN.  This module builds that line-up through the
+engine's method registry (:mod:`repro.core.engine`) from an
+:class:`repro.experiments.config.ExperimentConfig`, so every experiment
+uses identical hyper-parameters and the registry stays the single source
+of truth for what the names mean.
 
-By default the transposition methods are the batch-capable variants, which
-the pipeline evaluates with one vectorised pass per split (all leave-one-out
-applications at once) instead of one training run per cell; ``batched=False``
-returns the historical per-cell adapters, which the engine benches use as
-the speedup baseline.  Either way every factory is picklable so the line-up
-works with ``run_cross_validation(..., n_jobs=N)``.
+By default the line-up is the batch-capable registrations, which the
+pipeline evaluates with one vectorised pass per split (all leave-one-out
+applications at once — GA-kNN included, via the lockstep GA);
+``batched=False`` resolves the ``*/per-cell`` reference variants instead,
+which the engine benches and equivalence tests use as the speedup/accuracy
+baseline.  Either way every instance is picklable so the line-up works
+with ``run_cross_validation(..., n_jobs=N)``.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.baselines.ga_knn import GAKNNBaseline
-from repro.core.batch import BatchedLinearTransposition, BatchedMLPTransposition
-from repro.core.linear_predictor import LinearTranspositionPredictor
-from repro.core.mlp_predictor import MLPTranspositionPredictor
-from repro.core.pipeline import RankingMethod, TranspositionMethod
+from repro.core.engine import create_methods
+from repro.core.pipeline import RankingMethod
 from repro.experiments.config import ExperimentConfig
 
 __all__ = ["NNT", "MLPT", "GAKNN", "standard_methods"]
 
-#: Canonical method names used in result tables (match the paper's labels).
+#: Canonical method names used in result tables (match the paper's labels
+#: and the registry's labels).
 NNT = "NN^T"
 MLPT = "MLP^T"
 GAKNN = "GA-kNN"
 
 
 def standard_methods(
-    config: ExperimentConfig, batched: bool = True
+    config: ExperimentConfig, batched: bool = True, backend: str | None = None
 ) -> dict[str, RankingMethod]:
-    """The NNᵀ / MLPᵀ / GA-kNN line-up with the configured hyper-parameters."""
-    if batched:
-        nnt: TranspositionMethod = BatchedLinearTransposition(name=NNT)
-        mlpt: TranspositionMethod = BatchedMLPTransposition(
-            hidden_units=config.mlp_hidden_units,
-            epochs=config.mlp_epochs,
-            seed=config.seed,
-            name=MLPT,
-        )
-    else:
-        nnt = TranspositionMethod(LinearTranspositionPredictor, NNT)
-        mlpt = TranspositionMethod(
-            partial(
-                MLPTranspositionPredictor,
-                hidden_units=config.mlp_hidden_units,
-                epochs=config.mlp_epochs,
-                seed=config.seed,
-            ),
-            MLPT,
-        )
-    return {
-        NNT: nnt,
-        MLPT: mlpt,
-        GAKNN: GAKNNBaseline(
-            k=config.knn_neighbours, ga_config=config.ga_config(), seed=config.seed
-        ),
-    }
+    """The NNᵀ / MLPᵀ / GA-kNN line-up with the configured hyper-parameters.
+
+    Resolves through the method registry: *batched* picks between the
+    first-class batched registrations and their ``*/per-cell`` reference
+    variants (same labels either way), and *backend* selects the array
+    backend for backend-capable methods (``None`` = ``REPRO_BACKEND`` or
+    NumPy).
+    """
+    names = [NNT, MLPT, GAKNN]
+    if not batched:
+        names = [f"{name}/per-cell" for name in names]
+    return create_methods(names, config.method_params(backend=backend))

@@ -31,7 +31,7 @@ from repro.ml.linreg import LinearRegression, RidgeRegression, SimpleLinearRegre
 from repro.ml.mlp import MLPRegressor
 from repro.ml.batched_mlp import BatchedMLPRegressor
 from repro.ml.knn import KNNRegressor
-from repro.ml.genetic import GeneticAlgorithm, GAConfig
+from repro.ml.genetic import GeneticAlgorithm, GAConfig, LockstepGeneticAlgorithm
 from repro.ml.kmedoids import KMedoids
 from repro.ml.model_selection import GridSearch, KFold, train_test_split
 
@@ -44,6 +44,7 @@ __all__ = [
     "KMedoids",
     "KNNRegressor",
     "LinearRegression",
+    "LockstepGeneticAlgorithm",
     "MLPRegressor",
     "MinMaxScaler",
     "RidgeRegression",

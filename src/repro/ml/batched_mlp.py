@@ -24,6 +24,16 @@ The batched pass reproduces the sequential implementation's arithmetic:
 The equivalence suite in ``tests/test_batched_engine.py`` asserts agreement
 with :class:`~repro.ml.mlp.MLPRegressor` to ``rtol=1e-10`` (in practice the
 two paths agree to the last few ulps even after 500 epochs).
+
+Array backends
+--------------
+The SGD inner loop is a backend kernel
+(:meth:`repro.core.backends.ArrayBackend.mlp_sgd`): the default NumPy
+backend runs the historical loop verbatim (bit-identical), while
+alternative backends (``backend="torch"`` or ``REPRO_BACKEND=torch``) may
+trade bit-exactness for their own kernels.  All RNG draws — weight
+initialisation and the per-epoch shuffle orders — happen here, outside the
+kernel, so the random stream is backend-independent.
 """
 
 from __future__ import annotations
@@ -41,7 +51,9 @@ class BatchedMLPRegressor:
     All networks share the hyper-parameters and seed below (the batched
     cross-validation engine trains one network per application of interest,
     all configured identically); only the training data differs per network.
-    Parameters match :class:`repro.ml.mlp.MLPRegressor`.
+    Parameters match :class:`repro.ml.mlp.MLPRegressor`, plus ``backend`` —
+    an :class:`~repro.core.backends.ArrayBackend` name or instance for the
+    SGD kernel (``None`` resolves via ``REPRO_BACKEND``, default NumPy).
     """
 
     def __init__(
@@ -53,6 +65,7 @@ class BatchedMLPRegressor:
         normalize: bool = True,
         seed: int = 0,
         gradient_clip: float = MLPRegressor.GRADIENT_CLIP,
+        backend: "str | object | None" = None,
     ) -> None:
         if hidden_units is not None and hidden_units < 1:
             raise ValueError("hidden_units must be >= 1")
@@ -71,6 +84,7 @@ class BatchedMLPRegressor:
         self.normalize = bool(normalize)
         self.seed = int(seed)
         self.gradient_clip = float(gradient_clip)
+        self.backend = backend
 
         self._w_hidden: np.ndarray | None = None  # (N, F, H)
         self._b_hidden: np.ndarray | None = None  # (N, H)
@@ -134,75 +148,34 @@ class BatchedMLPRegressor:
         ).copy()
         b_output = np.full(n_networks, float(rng.uniform(-0.5, 0.5)))
 
-        vel_w_hidden = np.zeros_like(w_hidden)
-        vel_b_hidden = np.zeros_like(b_hidden)
-        vel_w_output = np.zeros_like(w_output)
-        vel_b_output = np.zeros(n_networks)
-
-        lr = self.learning_rate
-        momentum = self.momentum
-        clip = self.gradient_clip
-
         # Sample-major copies so each inner-loop step reads a contiguous
         # (N, ...) block without a per-sample gather.
         x_samples = np.ascontiguousarray(x.transpose(1, 0, 2))      # (S, N, F)
         y_samples = np.ascontiguousarray(y.T)                       # (S, N)
 
-        # Scratch buffers reused across the whole SGD loop; every update
-        # below preserves the sequential implementation's operation order,
-        # so each stacked network follows bit-for-bit the same trajectory
-        # an individually trained MLPRegressor would.
-        hidden_pre = np.empty((n_networks, 1, n_hidden))
-        hidden_act = np.empty((n_networks, n_hidden))
-        one_minus_act = np.empty_like(hidden_act)
-        output = np.empty((n_networks, 1, 1))
-        error = np.empty(n_networks)
-        grad_w_output = np.empty_like(w_output)
-        delta_hidden = np.empty_like(b_hidden)
-        grad_w_hidden = np.empty_like(w_hidden)
-
+        # Per-epoch shuffle orders come from the same stream, after the
+        # weight draws, exactly as the in-loop shuffles did — precomputing
+        # them keeps all randomness out of the backend kernel.
         indices = np.arange(n_samples)
-        for _ in range(self.epochs):
+        shuffle_orders = np.empty((self.epochs, n_samples), dtype=np.intp)
+        for epoch in range(self.epochs):
             rng.shuffle(indices)
-            for idx in indices:
-                xi = x_samples[idx]                                 # (N, F)
-                np.matmul(xi[:, None, :], w_hidden, out=hidden_pre)
-                np.add(hidden_pre[:, 0, :], b_hidden, out=hidden_act)
-                np.clip(hidden_act, -60.0, 60.0, out=hidden_act)
-                np.negative(hidden_act, out=hidden_act)
-                np.exp(hidden_act, out=hidden_act)
-                hidden_act += 1.0
-                np.reciprocal(hidden_act, out=hidden_act)
+            shuffle_orders[epoch] = indices
 
-                np.matmul(hidden_act[:, None, :], w_output[:, :, None], out=output)
-                np.add(output[:, 0, 0], b_output, out=error)
-                error -= y_samples[idx]
-                np.clip(error, -clip, clip, out=error)
+        from repro.core.backends import resolve_backend
 
-                np.multiply(error[:, None], hidden_act, out=grad_w_output)
-                np.multiply(error[:, None], w_output, out=delta_hidden)
-                delta_hidden *= hidden_act
-                np.subtract(1.0, hidden_act, out=one_minus_act)
-                delta_hidden *= one_minus_act
-                np.multiply(xi[:, :, None], delta_hidden[:, None, :], out=grad_w_hidden)
-
-                vel_w_output *= momentum
-                grad_w_output *= lr
-                vel_w_output -= grad_w_output
-                vel_b_output *= momentum
-                error *= lr
-                vel_b_output -= error
-                vel_w_hidden *= momentum
-                grad_w_hidden *= lr
-                vel_w_hidden -= grad_w_hidden
-                vel_b_hidden *= momentum
-                delta_hidden *= lr
-                vel_b_hidden -= delta_hidden
-
-                w_output += vel_w_output
-                b_output += vel_b_output
-                w_hidden += vel_w_hidden
-                b_hidden += vel_b_hidden
+        w_hidden, b_hidden, w_output, b_output = resolve_backend(self.backend).mlp_sgd(
+            x_samples,
+            y_samples,
+            w_hidden,
+            b_hidden,
+            w_output,
+            b_output,
+            shuffle_orders,
+            self.learning_rate,
+            self.momentum,
+            self.gradient_clip,
+        )
 
         self._w_hidden = w_hidden
         self._b_hidden = b_hidden

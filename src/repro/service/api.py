@@ -43,16 +43,20 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.batch import split_cache_key, split_fingerprint, supports_batched_prediction
+from repro.core.engine import DEFAULT_METHOD, resolve_methods
 from repro.core.pipeline import RankingMethod, predict_split_scores
 from repro.core.ranking import MachineRanking
 from repro.data.spec_dataset import SpecDataset
 from repro.data.splits import MachineSplit
 from repro.service.cache import CacheStats, SplitContextCache
 
-__all__ = ["PredictionService", "RankingQuery", "RankingReply", "ServiceError"]
-
-#: Method used when a query does not name one (the paper's headline method).
-DEFAULT_METHOD = "NN^T"
+__all__ = [
+    "DEFAULT_METHOD",
+    "PredictionService",
+    "RankingQuery",
+    "RankingReply",
+    "ServiceError",
+]
 
 
 class ServiceError(ValueError):
@@ -207,7 +211,9 @@ class PredictionService:
         The performance dataset to answer from.
     methods:
         Mapping from method name to :class:`~repro.core.pipeline.
-        RankingMethod`.  Batch-capable methods (the default NNᵀ/MLPᵀ
+        RankingMethod`, or registered method name(s) resolved through
+        :func:`repro.core.engine.resolve_methods` (e.g. ``["NN^T",
+        "GA-kNN"]``).  Batch-capable methods (the standard NNᵀ/MLPᵀ/GA-kNN
         line-up) are trained with one tensor pass per split; per-cell
         methods work too, they just fill the split state more slowly.
     cache:
@@ -231,13 +237,13 @@ class PredictionService:
     def __init__(
         self,
         dataset: SpecDataset,
-        methods: Mapping[str, RankingMethod],
+        methods: "Mapping[str, RankingMethod] | Sequence[str] | str",
         cache: SplitContextCache | None = None,
     ) -> None:
         if not methods:
             raise ValueError("at least one ranking method is required")
         self.dataset = dataset
-        self.methods = dict(methods)
+        self.methods = resolve_methods(methods)
         self.cache = cache if cache is not None else SplitContextCache()
         self._benchmarks = set(dataset.benchmark_names)
         self._machines = set(dataset.machine_ids)

@@ -258,6 +258,21 @@ class SplitContextCache:
             total = total + shard.stats()
         return total
 
+    def shard_stats(self) -> tuple[CacheStats, ...]:
+        """Per-shard counters, in shard-index order.
+
+        The aggregate :meth:`stats` hides routing skew; this exposes it
+        (``repro-serve`` reports both in its ``stats`` reply).
+
+        Examples::
+
+            >>> cache = SplitContextCache(capacity=4, n_shards=2)
+            >>> cache.put("key", "value")
+            >>> sum(stats.entries for stats in cache.shard_stats())
+            1
+        """
+        return tuple(shard.stats() for shard in self._shards)
+
     def clear(self) -> None:
         """Drop every resident entry (counters are preserved)."""
         for shard in self._shards:

@@ -143,7 +143,15 @@ def _error_payload(message: str) -> dict[str, Any]:
 
 
 def _stats_payload(service: PredictionService) -> dict[str, Any]:
+    """The ``{"stats": true}`` reply: split-state cache counters + line-up.
+
+    Exposes the full :class:`~repro.service.cache.SplitContextCache`
+    accounting — aggregate hit/miss/eviction/expiration counters, the
+    derived hit rate, capacity, and the per-shard breakdown (which reveals
+    routing skew the aggregate hides).
+    """
     stats = service.cache_stats()
+    lookups = stats.hits + stats.misses
     return {
         "ok": True,
         "stats": {
@@ -152,6 +160,18 @@ def _stats_payload(service: PredictionService) -> dict[str, Any]:
             "evictions": stats.evictions,
             "expirations": stats.expirations,
             "entries": stats.entries,
+            "hit_rate": (stats.hits / lookups) if lookups else None,
+            "capacity": service.cache.capacity,
+            "shards": [
+                {
+                    "hits": shard.hits,
+                    "misses": shard.misses,
+                    "evictions": shard.evictions,
+                    "expirations": shard.expirations,
+                    "entries": shard.entries,
+                }
+                for shard in service.cache.shard_stats()
+            ],
             "methods": sorted(service.methods),
         },
     }

@@ -454,3 +454,15 @@ def test_microbatcher_validates_parameters(dataset):
         MicroBatcher(service, window=-1.0)
     with pytest.raises(ValueError):
         MicroBatcher(service, max_batch=0)
+
+
+def test_service_resolves_registered_method_names(dataset, splits):
+    """PredictionService accepts registry names instead of instances."""
+    by_name = PredictionService(dataset, ["NN^T"])
+    by_instance = PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+    split = splits[0]
+    query = RankingQuery("gcc", split.predictive_ids, target_machines=split.target_ids)
+    assert by_name.rank(query).scores == by_instance.rank(query).scores
+
+    with pytest.raises(Exception, match="unknown method"):
+        PredictionService(dataset, ["definitely-not-registered"])

@@ -100,6 +100,33 @@ def test_in_process_client_speaks_the_wire_protocol(service, dataset):
     assert stats["ok"] is True and stats["stats"]["entries"] >= 1
 
 
+def test_stats_reply_exposes_full_cache_accounting(service, dataset):
+    """The stats response carries the SplitContextCache counters + shards."""
+    client = InProcessClient(service)
+    client.request(
+        {"application": "gcc", "predictive_machines": dataset.machine_ids[:4]}
+    )
+    client.request(
+        {"application": "gcc", "predictive_machines": dataset.machine_ids[:4]}
+    )
+    stats = client.request({"stats": True})["stats"]
+    assert stats["misses"] >= 1 and stats["hits"] >= 1
+    lookups = stats["hits"] + stats["misses"]
+    assert stats["hit_rate"] == pytest.approx(stats["hits"] / lookups)
+    assert stats["capacity"] == service.cache.capacity
+    assert len(stats["shards"]) == service.cache.n_shards
+    # Per-shard counters sum to the aggregates.
+    for key in ("hits", "misses", "evictions", "expirations", "entries"):
+        assert sum(shard[key] for shard in stats["shards"]) == stats[key]
+    assert json.loads(json.dumps(stats)) == stats
+
+
+def test_stats_hit_rate_is_null_before_any_lookup():
+    fresh = build_service(preset="smoke", cache_capacity=4, cache_shards=2)
+    stats = InProcessClient(fresh).request({"stats": True})["stats"]
+    assert stats["hit_rate"] is None and stats["entries"] == 0
+
+
 # ---------------------------------------------------------------------- stdio
 def test_serve_stdio_answers_one_line_per_request(service, dataset):
     machines = dataset.machine_ids[:4]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Registry completeness checker: docs and the live method registry agree.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/check_registry.py
+
+Parses the "Registered methods" table in ``docs/api.md`` (the first
+backtick-quoted cell of each row is the method name) and compares it
+against :func:`repro.core.engine.registered_methods`, in both directions:
+
+* every method named in the docs must be registered — a stale doc row for
+  a renamed/removed method fails the check; and
+* every registered method must be documented — adding a method without a
+  doc row fails it too.
+
+Exit status is 0 on agreement, 1 otherwise, so the script slots directly
+into a CI step (and ``tests/test_engine_registry.py`` runs it as part of
+the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: A table row whose first cell is a backtick-quoted method name.
+ROW = re.compile(r"^\|\s*`([^`]+)`")
+HEADING = re.compile(r"^#{1,6}\s")
+SECTION = "### Registered methods"
+
+
+def documented_methods(text: str) -> set[str]:
+    """Method names from the "Registered methods" table of *text*."""
+    names: set[str] = set()
+    in_section = False
+    for line in text.splitlines():
+        if line.strip() == SECTION:
+            in_section = True
+            continue
+        if in_section and HEADING.match(line):
+            break
+        if in_section:
+            match = ROW.match(line)
+            if match:
+                names.add(match.group(1))
+    return names
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.core.engine import registered_methods
+
+    api_doc = ROOT / "docs" / "api.md"
+    documented = documented_methods(api_doc.read_text())
+    registered = {spec.name for spec in registered_methods()}
+
+    problems: list[str] = []
+    if not documented:
+        problems.append(f"{api_doc.name}: no '{SECTION}' table found")
+    for name in sorted(documented - registered):
+        problems.append(f"{api_doc.name}: documents unregistered method {name!r}")
+    for name in sorted(registered - documented):
+        problems.append(f"registry: method {name!r} is missing from {api_doc.name}")
+
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {len(documented)} documented vs {len(registered)} registered "
+        f"method(s): {len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
