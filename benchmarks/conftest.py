@@ -9,11 +9,19 @@ The default configuration is the ``fast`` preset (all 17 family splits /
 all machine splits, a 10-benchmark application subset including the paper's
 outliers, reduced training budgets).  Set ``REPRO_BENCH_PRESET=full`` to run
 the paper-faithful configuration (much slower).
+
+Besides pytest-benchmark's own ``--benchmark-json`` artefact, a session
+that ran benches persists per-module summaries at the repository root —
+``BENCH_service.json``, ``BENCH_engine.json``, ... (one per
+``test_bench_<module>.py`` that ran) — so the perf trajectory is tracked
+across PRs in-tree (ROADMAP open item 3).
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -45,3 +53,43 @@ def dataset(config):
 def run_once(benchmark, func, *args, **kwargs):
     """Run *func* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist per-module bench summaries as BENCH_<module>.json at the root.
+
+    ``benchmarks/test_bench_service.py`` writes ``BENCH_service.json`` and
+    so on, but only for modules whose benches actually ran (a filtered run
+    never truncates another module's history).  Errored benches are
+    skipped so a red run cannot poison the trajectory.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    by_module: dict[str, dict[str, dict[str, float]]] = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        if getattr(bench, "has_error", False):
+            continue
+        stem = Path(str(getattr(bench, "fullname", "")).split("::")[0]).stem
+        if not stem.startswith("test_bench_"):
+            continue
+        stats = bench.stats
+        by_module.setdefault(stem.removeprefix("test_bench_"), {})[bench.name] = {
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "max_s": stats.max,
+            "stddev_s": stats.stddev,
+            "rounds": stats.rounds,
+        }
+    if not by_module:
+        return
+    root = Path(__file__).resolve().parent.parent
+    preset = os.environ.get("REPRO_BENCH_PRESET", "fast").lower()
+    for module, results in sorted(by_module.items()):
+        payload = {
+            "preset": preset,
+            "results": {name: results[name] for name in sorted(results)},
+        }
+        (root / f"BENCH_{module}.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )

@@ -47,14 +47,16 @@ def format_method_registry() -> str:
 
     One row per registered method: name, canonical label, capabilities,
     the array backend a backend-capable method would run on right now
-    (honouring ``REPRO_BACKEND``; ``-`` for pure-NumPy methods), and the
-    one-line description.
+    (honouring ``REPRO_BACKEND``; ``-`` for pure-NumPy methods), the
+    deadline-degradation fallback the serving layer may substitute
+    (``-`` when the method is already the cheap end of its chain), and
+    the one-line description.
     """
     from repro.core.backends import resolve_backend
     from repro.core.engine import registered_methods
 
     active_backend = resolve_backend().name
-    header = ("name", "label", "capabilities", "backend", "description")
+    header = ("name", "label", "capabilities", "backend", "fallback", "description")
     rows = [header]
     for spec in registered_methods():
         rows.append(
@@ -63,6 +65,7 @@ def format_method_registry() -> str:
                 spec.label,
                 ", ".join(sorted(spec.capabilities)),
                 active_backend if "backend" in spec.capabilities else "-",
+                spec.fallback if spec.fallback is not None else "-",
                 spec.description,
             )
         )

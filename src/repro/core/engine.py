@@ -146,6 +146,10 @@ class MethodSpec:
         (``"NN^T/per-cell"`` carries the label ``"NN^T"``).
     description:
         One line for ``repro-experiments list-methods``.
+    fallback:
+        Registry name of a cheaper method the serving layer may degrade
+        to when this one cannot meet a query's deadline (``None`` = no
+        degradation; this method is already the cheap end of its chain).
     """
 
     name: str
@@ -153,6 +157,7 @@ class MethodSpec:
     capabilities: frozenset[str]
     label: str
     description: str = ""
+    fallback: str | None = None
 
     def create(self, params: MethodParams | None = None) -> "RankingMethod":
         """Build a fresh method instance under *params* (default params if None)."""
@@ -168,9 +173,13 @@ def register_method(
     capabilities: Iterable[str],
     label: str | None = None,
     description: str = "",
+    fallback: str | None = None,
     replace: bool = False,
 ) -> MethodSpec:
     """Register a ranking method and return its :class:`MethodSpec`.
+
+    *fallback* optionally names the (cheaper, already-registered) method
+    the serving layer may degrade to under deadline pressure.
 
     Raises :class:`DuplicateMethodError` when *name* is taken (pass
     ``replace=True`` to overwrite deliberately) and ``ValueError`` when a
@@ -200,12 +209,15 @@ def register_method(
         raise DuplicateMethodError(
             f"method {name!r} is already registered (pass replace=True to overwrite)"
         )
+    if fallback is not None and fallback == name:
+        raise MethodRegistryError(f"method {name!r} cannot fall back to itself")
     spec = MethodSpec(
         name=name,
         factory=factory,
         capabilities=capability_set,
         label=label if label is not None else name,
         description=description,
+        fallback=fallback,
     )
     _REGISTRY[name] = spec
     return spec
@@ -437,6 +449,7 @@ register_method(
     ["batched", "backend"],
     description="data transposition via MLP regression; all leave-one-out "
     "networks trained as one stacked SGD pass on the backend kernel",
+    fallback="NN^T",
 )
 register_method(
     "MLP^T/per-cell",
@@ -445,6 +458,7 @@ register_method(
     label="MLP^T",
     description="sequential MLP^T reference (one network per cell); "
     "equivalence baseline for the batched path",
+    fallback="NN^T/per-cell",
 )
 register_method(
     "GA-kNN",
@@ -452,6 +466,7 @@ register_method(
     ["batched"],
     description="Hoste et al. prior art; all per-cell GAs evolved in "
     "lockstep with one stacked LOO-fitness tensor pass per generation",
+    fallback="NN^T",
 )
 register_method(
     "GA-kNN/per-cell",
@@ -460,6 +475,7 @@ register_method(
     label="GA-kNN",
     description="sequential GA-kNN reference (one GA per cell); "
     "equivalence baseline for the batched path",
+    fallback="NN^T/per-cell",
 )
 register_method(
     "SuiteMean",

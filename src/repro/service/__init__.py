@@ -14,9 +14,19 @@ stack for it:
   LRU+TTL cache holding trained split state, keyed by
   :func:`~repro.core.batch.split_cache_key`;
 * :mod:`repro.service.batching` — :class:`MicroBatcher`, the asyncio
-  front end coalescing concurrent requests into stacked batch calls; and
+  front end coalescing concurrent requests into stacked batch calls, with
+  bounded admission and load shedding;
 * :mod:`repro.service.server` — the ``repro-serve`` entry point (stdio
-  JSON-lines or TCP) plus the synchronous :class:`InProcessClient`.
+  JSON-lines or TCP) plus the synchronous :class:`InProcessClient` and
+  the reconnecting :class:`TCPClient`;
+* :mod:`repro.service.resilience` — :class:`Deadline` propagation, the
+  backend :class:`CircuitBreaker` with bit-exact NumPy degradation
+  (:class:`ResilientBackend`), and full-jitter :class:`RetryPolicy`;
+* :mod:`repro.service.errors` — the stable error-code taxonomy every
+  front end answers with; and
+* :mod:`repro.service.faults` — the deterministic, seed-driven
+  fault-injection harness (``REPRO_FAULTS``) that makes all of the above
+  actually fire in tests and the CI chaos leg.
 
 Examples::
 
@@ -40,18 +50,61 @@ from repro.service.api import (
 )
 from repro.service.batching import MicroBatcher
 from repro.service.cache import CacheStats, SplitContextCache
-from repro.service.server import InProcessClient, build_service, serve_stdio, serve_tcp
+from repro.service.errors import (
+    ERROR_CODES,
+    RETRYABLE_CODES,
+    BackendFailureError,
+    DeadlineExceededError,
+    OverloadedError,
+    PayloadTooLargeError,
+)
+from repro.service.faults import (
+    FAULTS_ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    injector_from_env,
+)
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilientBackend,
+    RetryPolicy,
+)
+from repro.service.server import (
+    InProcessClient,
+    TCPClient,
+    build_service,
+    serve_stdio,
+    serve_tcp,
+)
 
 __all__ = [
+    "BackendFailureError",
     "CacheStats",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
+    "ERROR_CODES",
+    "FAULTS_ENV_VAR",
+    "FaultInjector",
+    "FaultPlan",
     "InProcessClient",
+    "InjectedFault",
     "MicroBatcher",
+    "OverloadedError",
+    "PayloadTooLargeError",
     "PredictionService",
+    "RETRYABLE_CODES",
     "RankingQuery",
     "RankingReply",
+    "ResilientBackend",
+    "RetryPolicy",
     "ServiceError",
     "SplitContextCache",
+    "TCPClient",
     "build_service",
     "serve_stdio",
     "serve_tcp",
+    "injector_from_env",
 ]

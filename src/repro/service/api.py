@@ -37,18 +37,22 @@ Examples::
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.batch import split_cache_key, split_fingerprint, supports_batched_prediction
-from repro.core.engine import DEFAULT_METHOD, resolve_methods
+from repro.core.engine import DEFAULT_METHOD, UnknownMethodError, method_spec, resolve_methods
 from repro.core.pipeline import RankingMethod, predict_split_scores
 from repro.core.ranking import MachineRanking
 from repro.data.spec_dataset import SpecDataset
 from repro.data.splits import MachineSplit
 from repro.service.cache import CacheStats, SplitContextCache
+from repro.service.errors import ServiceError
+from repro.service.faults import FaultInjector
+from repro.service.resilience import Deadline
 
 __all__ = [
     "DEFAULT_METHOD",
@@ -57,15 +61,6 @@ __all__ = [
     "RankingReply",
     "ServiceError",
 ]
-
-
-class ServiceError(ValueError):
-    """A query the service cannot answer (unknown names, bad shapes).
-
-    Raised instead of assorted ``KeyError``/``ValueError`` flavours so the
-    wire front ends can map every client mistake to one error reply without
-    masking genuine server bugs.
-    """
 
 
 @dataclass(frozen=True)
@@ -88,6 +83,11 @@ class RankingQuery:
         with (default ``"NN^T"``).
     top_n:
         Truncate the reply to the best *n* machines (``None`` = all).
+    deadline:
+        Optional :class:`~repro.service.resilience.Deadline` the reply
+        must beat (``deadline_ms`` on the wire).  Excluded from equality:
+        two queries asking the same question are the same question however
+        impatient their callers are.
 
     Examples::
 
@@ -101,6 +101,7 @@ class RankingQuery:
     target_machines: tuple[str, ...] | None = None
     method: str = DEFAULT_METHOD
     top_n: int | None = None
+    deadline: Deadline | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "predictive_machines", tuple(self.predictive_machines))
@@ -129,6 +130,12 @@ class RankingReply:
     split_fingerprint:
         Content address of the (dataset, split) pair that answered the
         query — the cache key digest, useful for tracing shard routing.
+    degraded:
+        ``True`` when the service answered with a cheaper fallback method
+        because the requested one could not meet the query's deadline.
+    served_method:
+        The method that actually produced the scores (equals ``method``
+        unless the reply is degraded).
 
     Examples::
 
@@ -141,6 +148,8 @@ class RankingReply:
         'm9'
         >>> reply.ranking().score_of("m3")
         38.5
+        >>> reply.served_method
+        'NN^T'
     """
 
     application: str
@@ -149,6 +158,12 @@ class RankingReply:
     scores: tuple[float, ...]
     cache_hit: bool
     split_fingerprint: str
+    degraded: bool = False
+    served_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.served_method is None:
+            object.__setattr__(self, "served_method", self.method)
 
     @property
     def top1(self) -> str:
@@ -176,6 +191,11 @@ class _SplitState:
         self.fingerprint = fingerprint
         self._lock = threading.Lock()
         self._scores: dict[str, dict[str, np.ndarray]] = {}
+
+    def has(self, method_name: str, application: str) -> bool:
+        """Is *application*'s score row already trained under *method_name*?"""
+        with self._lock:
+            return application in self._scores.get(method_name, {})
 
     def scores_for(
         self,
@@ -219,6 +239,15 @@ class PredictionService:
     cache:
         The :class:`~repro.service.cache.SplitContextCache` holding trained
         split state (default: 64 entries, 4 shards, no TTL).
+    fallbacks:
+        ``{method: cheaper_method}`` degradation map used when a query's
+        deadline cannot be met by its requested method.  ``None`` (the
+        default) derives it from the registry's ``fallback`` declarations,
+        restricted to the methods this service actually serves.
+    fault_injector:
+        The :class:`~repro.service.faults.FaultInjector` active in this
+        stack, if any — the service only *reports* it (health payloads);
+        injection itself happens at the cache and backend seams.
 
     Examples::
 
@@ -239,14 +268,42 @@ class PredictionService:
         dataset: SpecDataset,
         methods: "Mapping[str, RankingMethod] | Sequence[str] | str",
         cache: SplitContextCache | None = None,
+        fallbacks: "Mapping[str, str] | None" = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if not methods:
             raise ValueError("at least one ranking method is required")
         self.dataset = dataset
         self.methods = resolve_methods(methods)
         self.cache = cache if cache is not None else SplitContextCache()
+        self.fault_injector = fault_injector
         self._benchmarks = set(dataset.benchmark_names)
         self._machines = set(dataset.machine_ids)
+        self._fallbacks = (
+            dict(fallbacks) if fallbacks is not None else self._registry_fallbacks()
+        )
+        #: Worst observed cold-training seconds per served method, fed by
+        #: rank_many; the deadline-degradation decision consults it.
+        self._cold_cost: dict[str, float] = {}
+        #: Replies answered by a fallback method under deadline pressure.
+        self.degraded_served = 0
+        #: Cache entries found corrupted (wrong type) and rebuilt.
+        self.corrupt_entries_dropped = 0
+
+    def _registry_fallbacks(self) -> dict[str, str]:
+        """Degradation map from the registry, limited to served methods."""
+        fallbacks: dict[str, str] = {}
+        for served in self.methods:
+            try:
+                fallback_name = method_spec(served).fallback
+            except UnknownMethodError:
+                continue  # caller-named instance, not a registry method
+            if fallback_name is None:
+                continue
+            fallback_label = method_spec(fallback_name).label
+            if fallback_label in self.methods and fallback_label != served:
+                fallbacks[served] = fallback_label
+        return fallbacks
 
     # ------------------------------------------------------------ validation
     def split_for(self, query: RankingQuery) -> MachineSplit:
@@ -298,10 +355,51 @@ class PredictionService:
     # --------------------------------------------------------------- serving
     def _state_for(self, split: MachineSplit) -> _SplitState:
         key = split_cache_key(self.dataset, split)
-        state, _ = self.cache.get_or_create(
-            key, lambda: _SplitState(split, split_fingerprint(self.dataset, split))
-        )
+
+        def factory() -> _SplitState:
+            return _SplitState(split, split_fingerprint(self.dataset, split))
+
+        state, _ = self.cache.get_or_create(key, factory)
+        if not isinstance(state, _SplitState):
+            # A corrupted entry (wrong type) must never answer a query:
+            # purge it and rebuild.  If the rebuilt entry is corrupted too
+            # (injection can strike twice), serve from a private state —
+            # slower, but always correct.
+            self.corrupt_entries_dropped += 1
+            self.cache.invalidate(key)
+            state, _ = self.cache.get_or_create(key, factory)
+            if not isinstance(state, _SplitState):
+                self.corrupt_entries_dropped += 1
+                self.cache.invalidate(key)
+                state = factory()
         return state
+
+    def _choose_method(self, state: _SplitState, query: RankingQuery) -> tuple[str, bool]:
+        """``(method to serve, degraded?)`` under the query's deadline.
+
+        Degradation walks the fallback chain only when the requested
+        method's answer is cold *and* its observed cold-training cost
+        exceeds the remaining budget; a warm answer is always served as
+        asked (a lookup beats any deadline a training pass could).
+        """
+        requested = query.method
+        deadline = query.deadline
+        if deadline is None:
+            return requested, False
+        candidate = requested
+        seen = {candidate}
+        while True:
+            if state.has(candidate, query.application):
+                break  # warm: a table lookup meets any deadline
+            cost = self._cold_cost.get(candidate)
+            if cost is None or cost <= max(deadline.remaining(), 0.0):
+                break  # unknown or affordable cold cost: attempt it
+            fallback = self._fallbacks.get(candidate)
+            if fallback is None or fallback in seen:
+                break  # end of the chain: serve the best we reached
+            candidate = fallback
+            seen.add(candidate)
+        return candidate, candidate != requested
 
     def rank(self, query: RankingQuery) -> RankingReply:
         """Answer one query (see :meth:`rank_many` for the batch form)."""
@@ -313,14 +411,28 @@ class PredictionService:
         Queries sharing a (split, method) pair are answered from one
         trained score table: the first of them triggers the batched tensor
         pass (or a cache hit from an earlier batch), the rest are lookups.
+
+        A query with an expired (or tight) deadline is still answered —
+        degraded to its fallback method when one is configured and the
+        requested method's cold cost cannot fit the remaining budget.
+        Deadline *errors* are the front ends' business: raising here would
+        poison batchmates sharing the engine call.
         """
         replies: list[RankingReply] = []
         for query in queries:
             split = self.split_for(query)
             state = self._state_for(split)
+            served, degraded = self._choose_method(state, query)
+            started = time.monotonic()
             scores, warm = state.scores_for(
-                self.dataset, query.method, self.methods[query.method], query.application
+                self.dataset, served, self.methods[served], query.application
             )
+            if not warm:
+                elapsed = time.monotonic() - started
+                if elapsed > self._cold_cost.get(served, 0.0):
+                    self._cold_cost[served] = elapsed
+            if degraded:
+                self.degraded_served += 1
             ranking = MachineRanking.from_scores(split.target_ids, scores)
             ordered = ranking.ordered_ids()
             if query.top_n is not None:
@@ -334,6 +446,8 @@ class PredictionService:
                     scores=tuple(score_by_id[mid] for mid in ordered),
                     cache_hit=warm,
                     split_fingerprint=state.fingerprint,
+                    degraded=degraded,
+                    served_method=served,
                 )
             )
         return replies

@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.service.api import PredictionService, RankingQuery, RankingReply
+from repro.service.errors import DeadlineExceededError, OverloadedError
 
 __all__ = ["MicroBatcher"]
 
@@ -56,6 +57,14 @@ class MicroBatcher:
     max_batch:
         Flush immediately once this many requests are pending, without
         waiting for the window.
+    max_queue:
+        Admission bound on requests waiting for the next flush; a request
+        arriving past it is shed with
+        :class:`~repro.service.errors.OverloadedError` instead of queueing
+        unboundedly.
+    max_inflight:
+        Admission bound on requests dispatched but not yet answered
+        (i.e. inside engine batch calls); sheds the same way.
 
     Notes
     -----
@@ -65,33 +74,67 @@ class MicroBatcher:
     while a batch trains.  Invalid queries fail their own caller with
     :class:`~repro.service.api.ServiceError` — they never poison the other
     requests in the batch, and a caller that disappears (cancelled future)
-    never prevents the rest of its batch from being answered.
+    never prevents the rest of its batch from being answered.  A query
+    whose deadline has already expired is rejected at admission (and again
+    at flush time, for deadlines that expire while queued) with
+    :class:`~repro.service.errors.DeadlineExceededError`; the rest of its
+    batch is unaffected.
     """
 
     def __init__(
-        self, service: PredictionService, window: float = 0.002, max_batch: int = 64
+        self,
+        service: PredictionService,
+        window: float = 0.002,
+        max_batch: int = 64,
+        max_queue: int = 256,
+        max_inflight: int = 1024,
     ) -> None:
         if window < 0:
             raise ValueError("window must be >= 0")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.service = service
         self.window = float(window)
         self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self.max_inflight = int(max_inflight)
         self._pending: list[tuple[RankingQuery, asyncio.Future]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
+        self._inflight = 0
+        self._inflight_tasks: set[asyncio.Future] = set()
+        self._draining = False
         #: Number of flushes dispatched (for tests and throughput benches).
         self.batches_dispatched = 0
         #: Total requests answered across all flushes.
         self.requests_served = 0
+        #: Requests refused at admission (queue/inflight budget exhausted).
+        self.requests_shed = 0
+        #: Requests refused because their deadline had already expired.
+        self.deadline_rejections = 0
 
     async def submit(self, query: RankingQuery) -> RankingReply:
         """Enqueue one query and await its reply.
 
         The first pending request arms the flush timer; subsequent requests
         inside the window ride the same batch.  Reaching ``max_batch``
-        flushes immediately.
+        flushes immediately.  Admission control happens here: a draining
+        batcher, a full queue, or an exhausted in-flight budget sheds the
+        request; an already-expired deadline rejects it.
         """
+        if self._draining:
+            raise OverloadedError("service is draining; not accepting new requests")
+        if len(self._pending) >= self.max_queue or self._inflight >= self.max_inflight:
+            self.requests_shed += 1
+            raise OverloadedError(
+                f"overloaded: {len(self._pending)} queued, {self._inflight} in flight"
+            )
+        if query.deadline is not None and query.deadline.expired:
+            self.deadline_rejections += 1
+            raise DeadlineExceededError("deadline expired before admission")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((query, future))
@@ -110,10 +153,19 @@ class MicroBatcher:
         if not batch:
             return
         # Weed out invalid queries individually so one bad request cannot
-        # fail the whole batch (split_for covers name and shape validation).
+        # fail the whole batch (split_for covers name and shape validation);
+        # likewise fail queries whose deadline expired while they queued —
+        # dispatching them would waste an engine pass on an unusable reply.
         # Futures may already be done (caller gone) — never touch those.
         valid: list[tuple[RankingQuery, asyncio.Future]] = []
         for query, future in batch:
+            if query.deadline is not None and query.deadline.expired:
+                self.deadline_rejections += 1
+                if not future.done():
+                    future.set_exception(
+                        DeadlineExceededError("deadline expired while queued")
+                    )
+                continue
             try:
                 self.service.split_for(query)
             except Exception as exc:
@@ -131,16 +183,19 @@ class MicroBatcher:
         task = loop.run_in_executor(
             None, self.service.rank_many, [query for query, _ in valid]
         )
+        self._inflight += len(valid)
+        self._inflight_tasks.add(task)
         task.add_done_callback(lambda done: self._deliver(valid, done))
 
-    @staticmethod
     def _deliver(
-        valid: "list[tuple[RankingQuery, asyncio.Future]]", done: asyncio.Future
+        self, valid: "list[tuple[RankingQuery, asyncio.Future]]", done: asyncio.Future
     ) -> None:
         """Resolve each caller's future from the finished batch call."""
+        self._inflight -= len(valid)
+        self._inflight_tasks.discard(done)
         try:
             replies = done.result()
-        except Exception as exc:  # pragma: no cover - engine failure path
+        except Exception as exc:
             for _, future in valid:
                 if not future.done():
                     future.set_exception(exc)
@@ -149,7 +204,47 @@ class MicroBatcher:
             if not future.done():
                 future.set_result(reply)
 
+    async def drain(self, timeout: float | None = None) -> None:
+        """Stop admitting, flush the queue, and await in-flight batches.
+
+        After this returns every previously admitted request has been
+        resolved (reply or error); new :meth:`submit` calls are refused
+        with :class:`~repro.service.errors.OverloadedError`.  *timeout*
+        bounds the wait for in-flight engine calls (``None`` = wait for
+        completion).
+        """
+        self._draining = True
+        self._flush()
+        outstanding = set(self._inflight_tasks)
+        if not outstanding:
+            return
+        await asyncio.wait(outstanding, timeout=timeout)
+
     @property
     def pending(self) -> int:
         """Requests currently waiting for the next flush."""
         return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        """Requests dispatched to the engine but not yet answered."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun (no new admissions)."""
+        return self._draining
+
+    def snapshot(self) -> dict:
+        """Admission/throughput counters (the ``health`` verb)."""
+        return {
+            "pending": len(self._pending),
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "batches_dispatched": self.batches_dispatched,
+            "requests_served": self.requests_served,
+            "requests_shed": self.requests_shed,
+            "deadline_rejections": self.deadline_rejections,
+            "max_queue": self.max_queue,
+            "max_inflight": self.max_inflight,
+        }

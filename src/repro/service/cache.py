@@ -20,6 +20,13 @@ The cache is value-agnostic: the service stores its per-split state in it,
 but any hashable-key/opaque-value pair works, which keeps the eviction
 semantics directly testable.
 
+For resilience testing the cache accepts a
+:class:`~repro.service.faults.FaultInjector`: the ``cache_evict`` seam
+drops a resident entry before a lookup (the request retrains — slower but
+correct) and the ``cache_corrupt`` seam replaces a resident value with a
+:class:`~repro.service.faults.CorruptedEntry` sentinel (the service
+detects the wrong type, invalidates, and rebuilds).
+
 Examples::
 
     >>> cache = SplitContextCache(capacity=2, n_shards=1)
@@ -42,6 +49,8 @@ import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
+
+from repro.service.faults import CorruptedEntry, FaultInjector
 
 __all__ = ["CacheStats", "SplitContextCache"]
 
@@ -147,6 +156,23 @@ class _Shard:
             self._insert(key, value)
             return value, False
 
+    def invalidate(self, key: Hashable) -> bool:
+        with self.lock:
+            if key in self.entries:
+                del self.entries[key]
+                return True
+            return False
+
+    def corrupt(self, key: Hashable, sentinel: Any) -> bool:
+        with self.lock:
+            entry = self.entries.get(key)
+            if entry is None:
+                return False
+            # Preserve expiry and LRU position: corruption replaces the
+            # value in place, it is not a (re)insertion.
+            self.entries[key] = (sentinel, entry[1])
+            return True
+
     def stats(self) -> CacheStats:
         with self.lock:
             return CacheStats(
@@ -184,6 +210,10 @@ class SplitContextCache:
         (e.g. in eviction tests).
     clock:
         Monotonic time source, injectable for tests.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector`; when given,
+        the ``cache_evict`` / ``cache_corrupt`` seams fire ahead of
+        lookups (chaos testing only — ``None`` in normal operation).
 
     Examples::
 
@@ -204,6 +234,7 @@ class SplitContextCache:
         ttl: float | None = None,
         n_shards: int = 4,
         clock: Callable[[], float] = time.monotonic,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -213,6 +244,10 @@ class SplitContextCache:
             raise ValueError("n_shards must be >= 1")
         self.capacity = int(capacity)
         self.ttl = ttl
+        self.fault_injector = fault_injector
+        #: Faults actually applied to resident entries (chaos assertions).
+        self.injected_evictions = 0
+        self.injected_corruptions = 0
         n_shards = min(n_shards, self.capacity)
         base, extra = divmod(self.capacity, n_shards)
         self._shards = tuple(
@@ -232,9 +267,21 @@ class SplitContextCache:
     def _shard(self, key: Hashable) -> _Shard:
         return self._shards[self.shard_index(key)]
 
+    def _maybe_inject(self, key: Hashable) -> None:
+        """Fire scheduled cache faults against *key* before a lookup."""
+        injector = self.fault_injector
+        if injector is None:
+            return
+        shard = self._shard(key)
+        if injector.fires("cache_evict") and shard.invalidate(key):
+            self.injected_evictions += 1
+        if injector.fires("cache_corrupt") and shard.corrupt(key, CorruptedEntry(key)):
+            self.injected_corruptions += 1
+
     # ------------------------------------------------------------- operations
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Value stored under *key*, or *default* on a miss/expiry."""
+        self._maybe_inject(key)
         return self._shard(key).get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -248,7 +295,24 @@ class SplitContextCache:
         the same key trigger exactly one build; requests for keys on other
         shards proceed unblocked in parallel.
         """
+        self._maybe_inject(key)
         return self._shard(key).get_or_create(key, factory)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop *key* if resident; True when an entry was removed.
+
+        Used by the service to purge an entry it detected as corrupted.
+
+        Examples::
+
+            >>> cache = SplitContextCache(capacity=4)
+            >>> cache.put("key", "value")
+            >>> cache.invalidate("key")
+            True
+            >>> cache.invalidate("key")
+            False
+        """
+        return self._shard(key).invalidate(key)
 
     # ------------------------------------------------------------- inspection
     def stats(self) -> CacheStats:

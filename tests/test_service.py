@@ -466,3 +466,191 @@ def test_service_resolves_registered_method_names(dataset, splits):
 
     with pytest.raises(Exception, match="unknown method"):
         PredictionService(dataset, ["definitely-not-registered"])
+
+
+# --------------------------------------------------- admission and deadlines
+def test_microbatcher_sheds_past_queue_bound(dataset):
+    from repro.service import OverloadedError
+
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:4])
+
+    async def run():
+        # A huge window keeps everything queued; max_batch above the bound
+        # keeps the queue from flushing early.
+        batcher = MicroBatcher(service, window=5.0, max_batch=64, max_queue=2)
+        admitted = [
+            asyncio.ensure_future(
+                batcher.submit(RankingQuery(app, machines, top_n=1))
+            )
+            for app in ("gcc", "mcf")
+        ]
+        await asyncio.sleep(0)  # let the submits enqueue
+        with pytest.raises(OverloadedError):
+            await batcher.submit(RankingQuery("lbm", machines, top_n=1))
+        assert batcher.requests_shed == 1
+        batcher._flush()  # answer the admitted pair
+        replies = await asyncio.gather(*admitted)
+        return replies
+
+    replies = asyncio.run(asyncio.wait_for(run(), timeout=30))
+    assert [reply.application for reply in replies] == ["gcc", "mcf"]
+
+
+def test_microbatcher_rejects_expired_deadline_at_admission(dataset):
+    from repro.service import Deadline, DeadlineExceededError
+
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:4])
+    expired = Deadline(expires_at=0.0, clock=lambda: 1.0)
+
+    async def run():
+        batcher = MicroBatcher(service, window=0.001)
+        with pytest.raises(DeadlineExceededError):
+            await batcher.submit(
+                RankingQuery("gcc", machines, top_n=1, deadline=expired)
+            )
+        assert batcher.deadline_rejections == 1
+
+    asyncio.run(asyncio.wait_for(run(), timeout=30))
+
+
+def test_microbatcher_deadline_expiring_in_queue_fails_alone(dataset):
+    """A deadline that lapses while queued fails its own caller only."""
+    from repro.service import Deadline, DeadlineExceededError
+
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:4])
+    now = [0.0]
+    doomed_deadline = Deadline(expires_at=0.5, clock=lambda: now[0])
+
+    async def run():
+        batcher = MicroBatcher(service, window=5.0, max_batch=64)
+        healthy = asyncio.ensure_future(
+            batcher.submit(RankingQuery("gcc", machines, top_n=1))
+        )
+        doomed = asyncio.ensure_future(
+            batcher.submit(
+                RankingQuery("mcf", machines, top_n=1, deadline=doomed_deadline)
+            )
+        )
+        await asyncio.sleep(0)
+        now[0] = 1.0  # the doomed query's deadline lapses while queued
+        batcher._flush()
+        reply = await healthy
+        with pytest.raises(DeadlineExceededError):
+            await doomed
+        assert reply.application == "gcc"
+        assert batcher.deadline_rejections == 1
+
+    asyncio.run(asyncio.wait_for(run(), timeout=30))
+
+
+def test_microbatcher_cancelled_caller_with_deadline_does_not_strand_batch(dataset):
+    """Cancellation and deadline handling interact safely inside one batch."""
+    from repro.service import Deadline
+
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:4])
+    generous = Deadline.after_ms(60_000)
+
+    async def run():
+        batcher = MicroBatcher(service, window=5.0, max_batch=64)
+        cancelled = asyncio.ensure_future(
+            batcher.submit(RankingQuery("gcc", machines, top_n=1, deadline=generous))
+        )
+        survivor = asyncio.ensure_future(
+            batcher.submit(RankingQuery("mcf", machines, top_n=1, deadline=generous))
+        )
+        await asyncio.sleep(0)
+        cancelled.cancel()
+        batcher._flush()
+        reply = await survivor
+        with pytest.raises(asyncio.CancelledError):
+            await cancelled
+        assert reply.application == "mcf"
+        assert batcher.inflight == 0  # accounting balanced after delivery
+
+    asyncio.run(asyncio.wait_for(run(), timeout=30))
+
+
+def test_microbatcher_drain_answers_inflight_then_refuses(dataset):
+    from repro.service import OverloadedError
+
+    service = _nnt_service(dataset)
+    machines = tuple(dataset.machine_ids[:4])
+
+    async def run():
+        batcher = MicroBatcher(service, window=5.0, max_batch=64)
+        inflight = asyncio.ensure_future(
+            batcher.submit(RankingQuery("gcc", machines, top_n=1))
+        )
+        await asyncio.sleep(0)
+        await batcher.drain()
+        reply = await inflight
+        assert reply.application == "gcc"
+        assert batcher.draining is True
+        with pytest.raises(OverloadedError):
+            await batcher.submit(RankingQuery("mcf", machines, top_n=1))
+
+    asyncio.run(asyncio.wait_for(run(), timeout=30))
+
+
+# ------------------------------------------------ cache faults and corruption
+def test_cache_injected_eviction_forces_retrain_but_correct_answer(dataset):
+    from repro.service import FaultInjector, FaultPlan
+
+    injector = FaultInjector(FaultPlan(seed=5, cache_evict=1.0))
+    cache = SplitContextCache(capacity=8, n_shards=1, fault_injector=injector)
+    service = PredictionService(
+        dataset, {"NN^T": BatchedLinearTransposition()}, cache=cache
+    )
+    machines = tuple(dataset.machine_ids[:4])
+    query = RankingQuery("gcc", machines, top_n=2)
+    baseline = _nnt_service(dataset).rank(query)
+    first = service.rank(query)
+    second = service.rank(query)  # entry evicted between the two queries
+    assert cache.injected_evictions >= 1
+    assert second.cache_hit is False  # retrained, not served warm
+    for reply in (first, second):
+        assert reply.machine_ids == baseline.machine_ids
+        assert reply.scores == baseline.scores
+
+
+def test_cache_injected_corruption_is_detected_and_rebuilt(dataset):
+    from repro.service import FaultInjector, FaultPlan
+
+    injector = FaultInjector(FaultPlan(seed=5, cache_corrupt=1.0))
+    cache = SplitContextCache(capacity=8, n_shards=1, fault_injector=injector)
+    service = PredictionService(
+        dataset, {"NN^T": BatchedLinearTransposition()}, cache=cache
+    )
+    machines = tuple(dataset.machine_ids[:4])
+    query = RankingQuery("gcc", machines, top_n=2)
+    baseline = _nnt_service(dataset).rank(query)
+    first = service.rank(query)
+    second = service.rank(query)  # resident entry corrupted before lookup
+    assert cache.injected_corruptions >= 1
+    assert service.corrupt_entries_dropped >= 1
+    for reply in (first, second):
+        assert reply.machine_ids == baseline.machine_ids
+        assert reply.scores == baseline.scores
+
+
+def test_cache_corruption_sentinel_never_reaches_clients(dataset):
+    """Even under 100% eviction AND corruption, every reply is well-formed."""
+    from repro.service import FaultInjector, FaultPlan
+
+    injector = FaultInjector(
+        FaultPlan(seed=9, cache_evict=0.5, cache_corrupt=1.0)
+    )
+    cache = SplitContextCache(capacity=8, n_shards=1, fault_injector=injector)
+    service = PredictionService(
+        dataset, {"NN^T": BatchedLinearTransposition()}, cache=cache
+    )
+    machines = tuple(dataset.machine_ids[:4])
+    baseline = _nnt_service(dataset).rank(RankingQuery("gcc", machines, top_n=2))
+    for _ in range(6):
+        reply = service.rank(RankingQuery("gcc", machines, top_n=2))
+        assert reply.machine_ids == baseline.machine_ids
+        assert reply.scores == baseline.scores

@@ -69,6 +69,9 @@ def test_query_from_payload_round_trip(dataset):
         {"application": "gcc", "predictive_machines": ["m"], "top_n": True},
         {"application": "gcc", "predictive_machines": ["m"], "method": 5},
         {"application": "gcc", "predictive_machines": ["m"], "surprise": True},
+        {"application": "gcc", "predictive_machines": ["m"], "deadline_ms": "1s"},
+        {"application": "gcc", "predictive_machines": ["m"], "deadline_ms": 0},
+        {"application": "gcc", "predictive_machines": ["m"], "deadline_ms": True},
     ],
 )
 def test_query_from_payload_rejects_malformed_requests(payload):
@@ -95,7 +98,8 @@ def test_in_process_client_speaks_the_wire_protocol(service, dataset):
     )
     assert reply["ok"] is True and len(reply["ranking"]) == 1
     error = client.request({"application": "mcf"})
-    assert error["ok"] is False and "predictive_machines" in error["error"]
+    assert error["ok"] is False and error["code"] == "INVALID_REQUEST"
+    assert "predictive_machines" in error["error"]
     stats = client.request({"stats": True})
     assert stats["ok"] is True and stats["stats"]["entries"] >= 1
 
@@ -145,8 +149,8 @@ def test_serve_stdio_answers_one_line_per_request(service, dataset):
     assert served == len(replies) == 4
     assert replies[0]["ok"] is True
     assert [entry["machine"] for entry in replies[0]["ranking"]]
-    assert replies[1]["ok"] is False and "invalid JSON" in replies[1]["error"]
-    assert replies[2]["ok"] is False and "bogus" in replies[2]["error"]
+    assert replies[1]["ok"] is False and replies[1]["code"] == "INVALID_JSON"
+    assert replies[2]["ok"] is False and replies[2]["code"] == "INVALID_REQUEST"
     assert replies[3]["ok"] is True and "stats" in replies[3]
 
 
@@ -177,7 +181,7 @@ def test_serve_tcp_round_trip(service, dataset):
     replies = asyncio.run(asyncio.wait_for(run(), timeout=30))
     assert replies[0]["ok"] is True and replies[0]["application"] == "gcc"
     assert replies[1]["ok"] is True and replies[1]["application"] == "namd"
-    assert replies[2]["ok"] is False and "bogus" in replies[2]["error"]
+    assert replies[2]["ok"] is False and replies[2]["code"] == "INVALID_REQUEST"
     assert replies[3]["ok"] is True and replies[3]["stats"]["entries"] >= 1
 
 
@@ -236,3 +240,184 @@ def test_cli_dispatches_serve_subcommand(dataset, capsys, monkeypatch):
     assert cli.main(["serve", "--preset", "smoke"]) == 0
     reply = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
     assert reply["ok"] is True and len(reply["ranking"]) == 1
+
+
+# ----------------------------------------------------------------- ops verbs
+def test_health_and_ready_ops_report_ok_state(service):
+    client = InProcessClient(service)
+    health = client.request({"op": "health"})
+    assert health["ok"] is True and health["status"] == "ok"
+    assert health["ready"] is True
+    assert health["degraded_served"] == 0
+    ready = client.request({"op": "ready"})
+    assert ready == {"ok": True, "ready": True}
+    unknown = client.request({"op": "levitate"})
+    assert unknown["ok"] is False and unknown["code"] == "INVALID_REQUEST"
+
+
+def test_health_reports_resilient_backend_breaker():
+    fresh = build_service(preset="smoke", cache_capacity=4, cache_shards=2)
+    health = InProcessClient(fresh).request({"op": "health"})
+    assert health["backend"]["breaker"]["state"] == "closed"
+    assert health["backend"]["primary"] == fresh.resilient_backend.primary.name
+    assert json.loads(json.dumps(health)) == health
+
+
+# -------------------------------------------------------------- bounded lines
+def test_serve_stdio_bounds_line_length(service, dataset):
+    machines = dataset.machine_ids[:4]
+    good = json.dumps({"application": "gcc", "predictive_machines": machines, "top_n": 1})
+    huge = '{"application": "' + "x" * 4096 + '"}'
+    out = io.StringIO()
+    served = serve_stdio(
+        service, io.StringIO(huge + "\n" + good + "\n"), out, max_line_bytes=1024
+    )
+    replies = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert served == 2
+    assert replies[0]["ok"] is False and replies[0]["code"] == "PAYLOAD_TOO_LARGE"
+    # The stream recovers: the next (normal) line is answered normally.
+    assert replies[1]["ok"] is True
+
+
+def test_serve_tcp_bounds_line_length(service, dataset):
+    machines = dataset.machine_ids[:4]
+
+    async def run():
+        server = await serve_tcp(
+            service, "127.0.0.1", 0, window=0.001, max_line_bytes=1024
+        )
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b'{"application": "' + b"x" * 200_000 + b'"}\n')
+        writer.write(
+            (json.dumps({"application": "gcc", "predictive_machines": machines}) + "\n").encode()
+        )
+        await writer.drain()
+        replies = [json.loads(await reader.readline()) for _ in range(2)]
+        writer.close()
+        await writer.wait_closed()
+        server.close()
+        await server.wait_closed()
+        return replies
+
+    replies = asyncio.run(asyncio.wait_for(run(), timeout=30))
+    assert replies[0]["ok"] is False and replies[0]["code"] == "PAYLOAD_TOO_LARGE"
+    assert replies[1]["ok"] is True
+
+
+# ------------------------------------------------------------------ shutdown
+def test_serve_stdio_handles_keyboard_interrupt_cleanly(service, dataset):
+    machines = dataset.machine_ids[:4]
+    good = json.dumps({"application": "gcc", "predictive_machines": machines, "top_n": 1})
+
+    class InterruptingStream:
+        """Yields one good line, then simulates ctrl-C on the next read."""
+
+        def __init__(self):
+            self.lines = iter([good + "\n"])
+
+        def readline(self, limit=-1):
+            try:
+                return next(self.lines)
+            except StopIteration:
+                raise KeyboardInterrupt
+
+    out = io.StringIO()
+    served = serve_stdio(service, InterruptingStream(), out)
+    assert served == 1
+    assert json.loads(out.getvalue().strip())["ok"] is True
+
+
+# ----------------------------------------------------------------- tcp client
+def test_tcp_client_round_trip_and_reuse(service, dataset):
+    from repro.service import RetryPolicy, TCPClient
+
+    machines = dataset.machine_ids[:4]
+
+    async def run():
+        server = await serve_tcp(service, "127.0.0.1", 0, window=0.001)
+        port = server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+
+        def client_calls():
+            with TCPClient(
+                "127.0.0.1", port, retry=RetryPolicy(max_attempts=2, seed=3)
+            ) as client:
+                first = client.request(
+                    {"application": "gcc", "predictive_machines": machines, "top_n": 1}
+                )
+                second = client.request({"op": "ready"})
+                return first, second
+
+        first, second = await loop.run_in_executor(None, client_calls)
+        server.close()
+        await server.wait_closed()
+        return first, second
+
+    first, second = asyncio.run(asyncio.wait_for(run(), timeout=30))
+    assert first["ok"] is True and len(first["ranking"]) == 1
+    assert second == {"ok": True, "ready": True}
+
+
+def test_tcp_client_reconnects_after_connection_drop(service, dataset):
+    """A dropped connection is retried on a fresh connection, not surfaced."""
+    from repro.service import RetryPolicy, TCPClient
+
+    machines = dataset.machine_ids[:4]
+    drops = {"remaining": 1}
+
+    async def run():
+        server = await serve_tcp(service, "127.0.0.1", 0, window=0.001)
+        real_port = server.sockets[0].getsockname()[1]
+
+        # A proxy that kills the first connection before any reply.
+        async def proxy(reader, writer):
+            if drops["remaining"]:
+                drops["remaining"] -= 1
+                writer.close()
+                return
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                "127.0.0.1", real_port
+            )
+
+            async def pump(src, dst):
+                try:
+                    while True:
+                        data = await src.read(65536)
+                        if not data:
+                            break
+                        dst.write(data)
+                        await dst.drain()
+                finally:
+                    dst.close()
+
+            await asyncio.gather(
+                pump(reader, upstream_writer), pump(upstream_reader, writer)
+            )
+
+        front = await asyncio.start_server(proxy, "127.0.0.1", 0)
+        front_port = front.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+
+        def client_call():
+            client = TCPClient(
+                "127.0.0.1",
+                front_port,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.01, seed=11),
+            )
+            try:
+                return client.request(
+                    {"application": "gcc", "predictive_machines": machines, "top_n": 1}
+                )
+            finally:
+                client.close()
+
+        reply = await loop.run_in_executor(None, client_call)
+        front.close()
+        await front.wait_closed()
+        server.close()
+        await server.wait_closed()
+        return reply
+
+    reply = asyncio.run(asyncio.wait_for(run(), timeout=30))
+    assert reply["ok"] is True and drops["remaining"] == 0
