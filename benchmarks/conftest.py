@@ -55,6 +55,23 @@ def run_once(benchmark, func, *args, **kwargs):
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
+#: Extra per-module payloads merged into BENCH_<module>.json at session end.
+#: Keyed module -> name -> JSON-safe payload; see :func:`record_bench_extra`.
+_BENCH_EXTRAS: dict[str, dict[str, object]] = {}
+
+
+def record_bench_extra(module: str, name: str, payload) -> None:
+    """Attach a JSON-safe *payload* to ``BENCH_<module>.json`` under ``extra``.
+
+    Lets benches persist richer results than pytest-benchmark timing —
+    e.g. the load bench stores full :class:`repro.loadgen.LoadReport`
+    payloads (client percentiles, error counts, server metrics snapshot)
+    alongside the wall-clock numbers.  A module with only extras (no
+    timed benches) still gets its file written.
+    """
+    _BENCH_EXTRAS.setdefault(module, {})[name] = payload
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist per-module bench summaries as BENCH_<module>.json at the root.
 
@@ -81,15 +98,20 @@ def pytest_sessionfinish(session, exitstatus):
             "stddev_s": stats.stddev,
             "rounds": stats.rounds,
         }
-    if not by_module:
+    modules = sorted(set(by_module) | set(_BENCH_EXTRAS))
+    if not modules:
         return
     root = Path(__file__).resolve().parent.parent
     preset = os.environ.get("REPRO_BENCH_PRESET", "fast").lower()
-    for module, results in sorted(by_module.items()):
+    for module in modules:
+        results = by_module.get(module, {})
         payload = {
             "preset": preset,
             "results": {name: results[name] for name in sorted(results)},
         }
+        extras = _BENCH_EXTRAS.get(module)
+        if extras:
+            payload["extra"] = {name: extras[name] for name in sorted(extras)}
         (root / f"BENCH_{module}.json").write_text(
             json.dumps(payload, indent=2) + "\n"
         )

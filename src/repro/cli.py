@@ -7,10 +7,13 @@ Installed as ``repro-experiments``.  Examples::
     repro-experiments all --preset fast
     repro-experiments list-methods           # the method registry
     repro-experiments serve --preset smoke   # the prediction server
+    repro-experiments loadgen --port 8077    # replay traffic at a server
 
 ``serve`` delegates to the prediction server (``repro-serve``,
 :mod:`repro.service.server`) and forwards every following argument to it
-(see ``docs/serving.md``); ``list-methods`` prints the engine's method
+(see ``docs/serving.md``); ``loadgen`` does the same for the load
+generator (``repro-loadgen``, :mod:`repro.loadgen`); ``list-methods``
+prints the engine's method
 registry — every registered ranking method with its capabilities and the
 array backend it would run on — so users can discover what ``--method`` /
 ``methods=`` names mean without reading source.
@@ -109,15 +112,20 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiment(s) and print the text report.
 
-    ``serve`` is dispatched to :func:`repro.service.server.main` with the
-    remaining arguments, ``list-methods`` prints the engine's method
-    registry; everything else is parsed as an experiment name.
+    ``serve`` is dispatched to :func:`repro.service.server.main` and
+    ``loadgen`` to :func:`repro.loadgen.main`, each with the remaining
+    arguments; ``list-methods`` prints the engine's method registry;
+    everything else is parsed as an experiment name.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
         from repro.service.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     if argv and argv[0] == "list-methods":
         print(format_method_registry())
         return 0

@@ -23,10 +23,15 @@ stack for it:
   backend :class:`CircuitBreaker` with bit-exact NumPy degradation
   (:class:`ResilientBackend`), and full-jitter :class:`RetryPolicy`;
 * :mod:`repro.service.errors` — the stable error-code taxonomy every
-  front end answers with; and
+  front end answers with;
 * :mod:`repro.service.faults` — the deterministic, seed-driven
   fault-injection harness (``REPRO_FAULTS``) that makes all of the above
-  actually fire in tests and the CI chaos leg.
+  actually fire in tests and the CI chaos leg; and
+* :mod:`repro.service.observability` — the shared
+  :class:`MetricsRegistry` (counters, gauges, p50/p95/p99 latency
+  histograms, the ``{"op": "metrics"}`` verb) and per-request
+  :class:`Trace` spans echoed on every reply, which
+  :mod:`repro.loadgen` reconciles against its client-side measurements.
 
 Examples::
 
@@ -65,6 +70,15 @@ from repro.service.faults import (
     InjectedFault,
     injector_from_env,
 )
+from repro.service.observability import (
+    TRACE_STAGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PeriodicSnapshot,
+    Trace,
+)
 from repro.service.resilience import (
     CircuitBreaker,
     Deadline,
@@ -83,17 +97,22 @@ __all__ = [
     "BackendFailureError",
     "CacheStats",
     "CircuitBreaker",
+    "Counter",
     "Deadline",
     "DeadlineExceededError",
     "ERROR_CODES",
     "FAULTS_ENV_VAR",
     "FaultInjector",
     "FaultPlan",
+    "Gauge",
+    "Histogram",
     "InProcessClient",
     "InjectedFault",
+    "MetricsRegistry",
     "MicroBatcher",
     "OverloadedError",
     "PayloadTooLargeError",
+    "PeriodicSnapshot",
     "PredictionService",
     "RETRYABLE_CODES",
     "RankingQuery",
@@ -103,6 +122,8 @@ __all__ = [
     "ServiceError",
     "SplitContextCache",
     "TCPClient",
+    "TRACE_STAGES",
+    "Trace",
     "build_service",
     "serve_stdio",
     "serve_tcp",

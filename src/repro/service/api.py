@@ -36,6 +36,7 @@ Examples::
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -52,6 +53,7 @@ from repro.data.splits import MachineSplit
 from repro.service.cache import CacheStats, SplitContextCache
 from repro.service.errors import ServiceError
 from repro.service.faults import FaultInjector
+from repro.service.observability import MetricsRegistry, Trace
 from repro.service.resilience import Deadline
 
 __all__ = [
@@ -88,6 +90,11 @@ class RankingQuery:
         must beat (``deadline_ms`` on the wire).  Excluded from equality:
         two queries asking the same question are the same question however
         impatient their callers are.
+    trace:
+        Optional :class:`~repro.service.observability.Trace` following the
+        request through the pipeline; the engine records its span on it
+        and the front ends echo its id on the reply.  Excluded from
+        equality for the same reason as ``deadline``.
 
     Examples::
 
@@ -102,6 +109,7 @@ class RankingQuery:
     method: str = DEFAULT_METHOD
     top_n: int | None = None
     deadline: Deadline | None = field(default=None, compare=False)
+    trace: Trace | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "predictive_machines", tuple(self.predictive_machines))
@@ -248,6 +256,12 @@ class PredictionService:
         The :class:`~repro.service.faults.FaultInjector` active in this
         stack, if any — the service only *reports* it (health payloads);
         injection itself happens at the cache and backend seams.
+    metrics:
+        The :class:`~repro.service.observability.MetricsRegistry` this
+        stack records into.  ``None`` (the default) creates a private
+        registry, so recording never needs a null check;
+        :func:`~repro.service.server.build_service` passes one shared
+        registry to the service and the resilient backend.
 
     Examples::
 
@@ -270,6 +284,7 @@ class PredictionService:
         cache: SplitContextCache | None = None,
         fallbacks: "Mapping[str, str] | None" = None,
         fault_injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not methods:
             raise ValueError("at least one ranking method is required")
@@ -277,6 +292,7 @@ class PredictionService:
         self.methods = resolve_methods(methods)
         self.cache = cache if cache is not None else SplitContextCache()
         self.fault_injector = fault_injector
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._benchmarks = set(dataset.benchmark_names)
         self._machines = set(dataset.machine_ids)
         self._fallbacks = (
@@ -420,19 +436,31 @@ class PredictionService:
         """
         replies: list[RankingReply] = []
         for query in queries:
-            split = self.split_for(query)
-            state = self._state_for(split)
-            served, degraded = self._choose_method(state, query)
-            started = time.monotonic()
-            scores, warm = state.scores_for(
-                self.dataset, served, self.methods[served], query.application
+            engine_span = (
+                query.trace.span("engine")
+                if query.trace is not None
+                else contextlib.nullcontext()
             )
+            with engine_span:
+                split = self.split_for(query)
+                state = self._state_for(split)
+                served, degraded = self._choose_method(state, query)
+                started = time.monotonic()
+                scores, warm = state.scores_for(
+                    self.dataset, served, self.methods[served], query.application
+                )
             if not warm:
                 elapsed = time.monotonic() - started
                 if elapsed > self._cold_cost.get(served, 0.0):
                     self._cold_cost[served] = elapsed
+                self.metrics.histogram("service.cold_train_ms").observe(elapsed * 1000.0)
+            self.metrics.counter("service.requests").inc()
+            self.metrics.counter(
+                "service.warm_hits" if warm else "service.cold_passes"
+            ).inc()
             if degraded:
                 self.degraded_served += 1
+                self.metrics.counter("service.degraded").inc()
             ranking = MachineRanking.from_scores(split.target_ids, scores)
             ordered = ranking.ordered_ids()
             if query.top_n is not None:

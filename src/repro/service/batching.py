@@ -125,19 +125,25 @@ class MicroBatcher:
         batcher, a full queue, or an exhausted in-flight budget sheds the
         request; an already-expired deadline rejects it.
         """
+        metrics = self.service.metrics
         if self._draining:
             raise OverloadedError("service is draining; not accepting new requests")
         if len(self._pending) >= self.max_queue or self._inflight >= self.max_inflight:
             self.requests_shed += 1
+            metrics.counter("batcher.shed").inc()
             raise OverloadedError(
                 f"overloaded: {len(self._pending)} queued, {self._inflight} in flight"
             )
         if query.deadline is not None and query.deadline.expired:
             self.deadline_rejections += 1
+            metrics.counter("batcher.deadline_rejected").inc()
             raise DeadlineExceededError("deadline expired before admission")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        if query.trace is not None:
+            query.trace.begin("queue")
         self._pending.append((query, future))
+        metrics.gauge("batcher.pending").set(len(self._pending))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._flush_handle is None:
@@ -157,10 +163,14 @@ class MicroBatcher:
         # likewise fail queries whose deadline expired while they queued —
         # dispatching them would waste an engine pass on an unusable reply.
         # Futures may already be done (caller gone) — never touch those.
+        metrics = self.service.metrics
         valid: list[tuple[RankingQuery, asyncio.Future]] = []
         for query, future in batch:
+            if query.trace is not None:
+                query.trace.end("queue")
             if query.deadline is not None and query.deadline.expired:
                 self.deadline_rejections += 1
+                metrics.counter("batcher.deadline_rejected").inc()
                 if not future.done():
                     future.set_exception(
                         DeadlineExceededError("deadline expired while queued")
@@ -175,8 +185,16 @@ class MicroBatcher:
                 valid.append((query, future))
         self.batches_dispatched += 1
         self.requests_served += len(valid)
+        metrics.gauge("batcher.pending").set(len(self._pending))
         if not valid:
             return
+        metrics.counter("batcher.batches").inc()
+        metrics.histogram(
+            "batcher.batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256)
+        ).observe(len(valid))
+        for query, _ in valid:
+            if query.trace is not None:
+                query.trace.begin("batch")
         # Run the engine pass off the event loop: a cold split training can
         # take seconds, and other connections must stay responsive.
         loop = asyncio.get_running_loop()
@@ -184,6 +202,7 @@ class MicroBatcher:
             None, self.service.rank_many, [query for query, _ in valid]
         )
         self._inflight += len(valid)
+        metrics.gauge("batcher.inflight").set(self._inflight)
         self._inflight_tasks.add(task)
         task.add_done_callback(lambda done: self._deliver(valid, done))
 
@@ -192,7 +211,11 @@ class MicroBatcher:
     ) -> None:
         """Resolve each caller's future from the finished batch call."""
         self._inflight -= len(valid)
+        self.service.metrics.gauge("batcher.inflight").set(self._inflight)
         self._inflight_tasks.discard(done)
+        for query, _ in valid:
+            if query.trace is not None:
+                query.trace.end("batch")
         try:
             replies = done.result()
         except Exception as exc:

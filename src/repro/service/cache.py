@@ -322,6 +322,47 @@ class SplitContextCache:
             total = total + shard.stats()
         return total
 
+    def snapshot(self) -> dict:
+        """The cache's full JSON accounting (the ``stats``/``metrics`` verbs).
+
+        Aggregate counters, the derived ``hit_rate`` (``None`` before any
+        lookup), the configured ``capacity``, and the per-shard breakdown —
+        exactly the dict served under ``{"op": "stats"}``.
+
+        Examples::
+
+            >>> cache = SplitContextCache(capacity=4, n_shards=2)
+            >>> cache.put("key", "value")
+            >>> _ = cache.get("key"); _ = cache.get("absent")
+            >>> snap = cache.snapshot()
+            >>> (snap["hits"], snap["misses"], snap["hit_rate"], len(snap["shards"]))
+            (1, 1, 0.5, 2)
+        """
+        per_shard = self.shard_stats()
+        total = CacheStats()
+        for stats in per_shard:
+            total = total + stats
+        lookups = total.hits + total.misses
+        return {
+            "hits": total.hits,
+            "misses": total.misses,
+            "evictions": total.evictions,
+            "expirations": total.expirations,
+            "entries": total.entries,
+            "hit_rate": (total.hits / lookups) if lookups else None,
+            "capacity": self.capacity,
+            "shards": [
+                {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "expirations": stats.expirations,
+                    "entries": stats.entries,
+                }
+                for stats in per_shard
+            ],
+        }
+
     def shard_stats(self) -> tuple[CacheStats, ...]:
         """Per-shard counters, in shard-index order.
 

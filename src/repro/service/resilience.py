@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.backends import ArrayBackend, NumpyBackend, resolve_backend
 from repro.service.faults import FaultInjector, InjectedFault
+from repro.service.observability import MetricsRegistry
 
 __all__ = [
     "CircuitBreaker",
@@ -267,17 +268,30 @@ class ResilientBackend:
         fallback: ArrayBackend | None = None,
         breaker: CircuitBreaker | None = None,
         injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.primary = resolve_backend(primary)
         self.fallback = fallback if fallback is not None else NumpyBackend()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.injector = injector
+        self.metrics = metrics
         self.name = f"resilient:{self.primary.name}"
         #: Calls answered by the primary / degraded to the fallback.
         self.primary_calls = 0
         self.fallback_calls = 0
 
+    def _record(self, started: float, primary: bool) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "backend.primary_calls" if primary else "backend.fallback_calls"
+        ).inc()
+        self.metrics.histogram("backend.kernel_ms").observe(
+            (time.monotonic() - started) * 1000.0
+        )
+
     def _kernel(self, kernel: str, *args):
+        started = time.monotonic()
         if self.breaker.allow():
             try:
                 if self.injector is not None:
@@ -290,9 +304,12 @@ class ResilientBackend:
             else:
                 self.breaker.record_success()
                 self.primary_calls += 1
+                self._record(started, primary=True)
                 return result
         self.fallback_calls += 1
-        return getattr(self.fallback, kernel)(*args)
+        result = getattr(self.fallback, kernel)(*args)
+        self._record(started, primary=False)
+        return result
 
     def mlp_sgd(self, *args) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
         """Stacked-network SGD kernel, degraded to the reference on failure.
@@ -301,6 +318,7 @@ class ResilientBackend:
         copies are handed to each backend — a failed primary attempt must
         not corrupt the inputs the fallback then trains on.
         """
+        started = time.monotonic()
         x_samples, y_samples, w_hidden, b_hidden, w_output, b_output, *rest = args
         weights = (w_hidden, b_hidden, w_output, b_output)
         protected = tuple(np.copy(w) for w in weights)
@@ -316,9 +334,12 @@ class ResilientBackend:
             else:
                 self.breaker.record_success()
                 self.primary_calls += 1
+                self._record(started, primary=True)
                 return result
         self.fallback_calls += 1
-        return self.fallback.mlp_sgd(x_samples, y_samples, *weights, *rest)
+        result = self.fallback.mlp_sgd(x_samples, y_samples, *weights, *rest)
+        self._record(started, primary=False)
+        return result
 
     def nnt_downdated_statistics(self, pred, target, rows):
         """Leave-one-out statistics kernel, degraded to the reference."""

@@ -18,17 +18,23 @@ Request objects::
     {"op": "stats"}                              # cache/serving counters
     {"op": "health"}                             # resilience state
     {"op": "ready"}                              # accepting requests?
+    {"op": "metrics"}                            # counters/histograms/traces
 
 Reply objects (one line per request, in request order)::
 
     {"ok": true, "application": "gcc", "method": "NN^T", "cache_hit": false,
-     "degraded": false, "ranking": [{"machine": "m011", "score": 41.2}, ...]}
+     "degraded": false, "ranking": [{"machine": "m011", "score": 41.2}, ...],
+     "trace": {"id": "…", "spans": [{"stage": "engine", "ms": 1.4}, ...]}}
     {"ok": false, "code": "INVALID_REQUEST", "error": "unknown application 'gzip'"}
 
 Every error reply carries a stable machine-readable ``code`` from
 :data:`repro.service.errors.ERROR_CODES`; clients branch on the code, not
 the message.  ``{"stats": true}`` is accepted as a legacy alias of
-``{"op": "stats"}``.
+``{"op": "stats"}``.  Every ranking reply — success or error — echoes a
+``trace`` object: a server-assigned id (or the request's own ``trace_id``
+field, if it sent one) plus the per-stage latency spans of
+:data:`repro.service.observability.TRACE_STAGES`, so a deadline miss is
+attributable to the stage that spent the budget.
 
 Invoke as ``python -m repro.service`` (the installed alias is
 ``repro-serve``) or through the experiments CLI as
@@ -58,6 +64,7 @@ from repro.service.batching import MicroBatcher
 from repro.service.cache import SplitContextCache
 from repro.service.errors import ERROR_CODES, RETRYABLE_CODES
 from repro.service.faults import FaultInjector, injector_from_env
+from repro.service.observability import MetricsRegistry, PeriodicSnapshot, Trace
 from repro.service.resilience import CircuitBreaker, Deadline, ResilientBackend, RetryPolicy
 
 __all__ = [
@@ -107,6 +114,7 @@ def query_from_payload(payload: Mapping[str, Any]) -> RankingQuery:
         "method",
         "top_n",
         "deadline_ms",
+        "trace_id",  # consumed by the front ends (_trace_for), tolerated here
     }
     if unknown:
         raise ServiceError(f"unknown request fields: {sorted(unknown)}")
@@ -207,31 +215,40 @@ def _stats_payload(service: PredictionService) -> dict[str, Any]:
     derived hit rate, capacity, and the per-shard breakdown (which reveals
     routing skew the aggregate hides).
     """
-    stats = service.cache_stats()
-    lookups = stats.hits + stats.misses
-    return {
-        "ok": True,
-        "stats": {
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "evictions": stats.evictions,
-            "expirations": stats.expirations,
-            "entries": stats.entries,
-            "hit_rate": (stats.hits / lookups) if lookups else None,
-            "capacity": service.cache.capacity,
-            "shards": [
-                {
-                    "hits": shard.hits,
-                    "misses": shard.misses,
-                    "evictions": shard.evictions,
-                    "expirations": shard.expirations,
-                    "entries": shard.entries,
-                }
-                for shard in service.cache.shard_stats()
-            ],
-            "methods": sorted(service.methods),
-        },
-    }
+    stats = service.cache.snapshot()
+    stats["methods"] = sorted(service.methods)
+    return {"ok": True, "stats": stats}
+
+
+def _metrics_payload(
+    service: PredictionService, batcher: MicroBatcher | None = None
+) -> dict[str, Any]:
+    """The ``{"op": "metrics"}`` reply: the whole stack's observability state.
+
+    One snapshot combining the shared
+    :class:`~repro.service.observability.MetricsRegistry` (counters, gauges,
+    latency histograms with p50/p95/p99) with the cache, batcher, and
+    resilient-backend accounting — everything a load generator needs to
+    reconcile its client-side measurements against the server's own.
+
+    Examples::
+
+        >>> from repro.core import BatchedLinearTransposition
+        >>> service = PredictionService(
+        ...     build_default_dataset(), {"NN^T": BatchedLinearTransposition()}
+        ... )
+        >>> payload = _metrics_payload(service)
+        >>> payload["ok"], sorted(payload["metrics"])[:3]
+        (True, ['cache', 'counters', 'gauges'])
+    """
+    snapshot = service.metrics.snapshot()
+    snapshot["cache"] = service.cache.snapshot()
+    backend = getattr(service, "resilient_backend", None)
+    if backend is not None:
+        snapshot["backend"] = backend.snapshot()
+    if batcher is not None:
+        snapshot["batcher"] = batcher.snapshot()
+    return {"ok": True, "metrics": snapshot}
 
 
 def _health_payload(
@@ -310,32 +327,92 @@ def _handle_op(
         return _health_payload(service, batcher)
     if op == "ready":
         return _ready_payload(service, batcher)
-    return _error_payload(f"unknown op {op!r} (known: health, ready, stats)")
+    if op == "metrics":
+        return _metrics_payload(service, batcher)
+    return _error_payload(f"unknown op {op!r} (known: health, metrics, ready, stats)")
+
+
+def _trace_for(payload: Any) -> Trace:
+    """The request's :class:`~repro.service.observability.Trace`.
+
+    Honours a client-supplied ``trace_id`` string (so callers can correlate
+    replies with their own logs); anything else gets a server-assigned id.
+    """
+    trace_id = payload.get("trace_id") if isinstance(payload, Mapping) else None
+    if not isinstance(trace_id, str) or not trace_id:
+        trace_id = None
+    return Trace(trace_id=trace_id)
+
+
+def _finish_reply(
+    service: PredictionService,
+    trace: Trace,
+    started: float,
+    payload: dict[str, Any],
+) -> dict[str, Any]:
+    """Stamp the trace onto a ranking reply and record request metrics.
+
+    Every ranking request — success or typed error — passes through here
+    exactly once, which is what makes the ``server.*`` counters reconcile
+    with a load generator's client-side counts.  Protocol verbs do not:
+    they are monitoring traffic, not load.
+    """
+    trace.close()
+    payload["trace"] = trace.to_payload()
+    metrics = service.metrics
+    metrics.counter("server.requests").inc()
+    if payload.get("ok"):
+        metrics.counter("server.ok").inc()
+    else:
+        metrics.counter("server.errors").inc()
+        metrics.counter(f"server.error.{payload.get('code', 'INTERNAL')}").inc()
+    metrics.histogram("server.request_ms").observe((time.monotonic() - started) * 1000.0)
+    metrics.observe_trace(trace)
+    return payload
 
 
 def _answer_line(service: PredictionService, line: str) -> dict[str, Any]:
     """One request line in, one reply object out (never raises)."""
+    started = time.monotonic()
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
-        return _error_payload(f"invalid JSON: {exc}", code="INVALID_JSON")
+        return _finish_reply(
+            service,
+            Trace(),
+            started,
+            _error_payload(f"invalid JSON: {exc}", code="INVALID_JSON"),
+        )
     if isinstance(payload, Mapping):
         op_reply = _handle_op(service, payload)
         if op_reply is not None:
             return op_reply
+    trace = _trace_for(payload)
+    trace.begin("admission")
     try:
         query = query_from_payload(payload)
+        trace.end("admission")
+        query = dataclasses.replace(query, trace=trace)
         reply = service.rank(query)
         if query.deadline is not None and query.deadline.expired:
-            return _error_payload(
-                "deadline exceeded before the reply could be written",
-                code="DEADLINE_EXCEEDED",
+            return _finish_reply(
+                service,
+                trace,
+                started,
+                _error_payload(
+                    "deadline exceeded before the reply could be written",
+                    code="DEADLINE_EXCEEDED",
+                ),
             )
-        return reply_to_payload(reply)
+        with trace.span("reply"):
+            reply_payload = reply_to_payload(reply)
+        return _finish_reply(service, trace, started, reply_payload)
     except ServiceError as exc:
-        return _error_from_exception(exc)
+        return _finish_reply(service, trace, started, _error_from_exception(exc))
     except Exception as exc:  # noqa: BLE001 - a request must never kill the loop
-        return _error_payload(f"internal error: {exc}", code="INTERNAL")
+        return _finish_reply(
+            service, trace, started, _error_payload(f"internal error: {exc}", code="INTERNAL")
+        )
 
 
 # ------------------------------------------------------------------- clients
@@ -528,6 +605,7 @@ def serve_stdio(
     in_stream: TextIO | None = None,
     out_stream: TextIO | None = None,
     max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    metrics_interval: float | None = None,
 ) -> int:
     """Answer newline-delimited JSON queries from *in_stream* until EOF.
 
@@ -536,6 +614,9 @@ def serve_stdio(
     being buffered).  ``KeyboardInterrupt`` (ctrl-C / SIGTERM via the
     ``main`` signal handler) ends the loop cleanly after the in-progress
     reply.  Returns the number of replies written (handy for tests).
+    *metrics_interval* (seconds, ``--metrics-interval``) enables the
+    periodic snapshot log: at most once per interval, checked after each
+    reply, one ``repro-serve metrics {...}`` line goes to stderr.
 
     Examples::
 
@@ -553,13 +634,23 @@ def serve_stdio(
     """
     in_stream = in_stream if in_stream is not None else sys.stdin
     out_stream = out_stream if out_stream is not None else sys.stdout
+    snapshot_log = (
+        PeriodicSnapshot(service.metrics, metrics_interval)
+        if metrics_interval is not None and metrics_interval > 0
+        else None
+    )
     served = 0
     try:
         for line in _iter_text_lines(in_stream, max_line_bytes):
             if line is None:
-                reply = _error_payload(
-                    f"request line exceeds {max_line_bytes} bytes",
-                    code="PAYLOAD_TOO_LARGE",
+                reply = _finish_reply(
+                    service,
+                    Trace(),
+                    time.monotonic(),
+                    _error_payload(
+                        f"request line exceeds {max_line_bytes} bytes",
+                        code="PAYLOAD_TOO_LARGE",
+                    ),
                 )
             elif not line.strip():
                 continue
@@ -567,6 +658,8 @@ def serve_stdio(
                 reply = _answer_line(service, line)
             print(json.dumps(reply), file=out_stream, flush=True)
             served += 1
+            if snapshot_log is not None:
+                snapshot_log.maybe_emit()
     except KeyboardInterrupt:
         # Drain-and-exit: every line read so far has been answered (the
         # loop is synchronous), so simply stop reading new ones.
@@ -674,32 +767,54 @@ async def serve_tcp(
     )
 
     async def answer(text: str) -> dict[str, Any]:
+        started = time.monotonic()
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            return _error_payload(f"invalid JSON: {exc}", code="INVALID_JSON")
+            return _finish_reply(
+                service,
+                Trace(),
+                started,
+                _error_payload(f"invalid JSON: {exc}", code="INVALID_JSON"),
+            )
         if isinstance(payload, Mapping):
             op_reply = _handle_op(service, payload, batcher)
             if op_reply is not None:
                 return op_reply
+        trace = _trace_for(payload)
+        trace.begin("admission")
         try:
             query = query_from_payload(payload)
+            trace.end("admission")
+            query = dataclasses.replace(query, trace=trace)
             reply = await batcher.submit(query)
             if query.deadline is not None and query.deadline.expired:
-                return _error_payload(
-                    "deadline exceeded before the reply could be written",
-                    code="DEADLINE_EXCEEDED",
+                return _finish_reply(
+                    service,
+                    trace,
+                    started,
+                    _error_payload(
+                        "deadline exceeded before the reply could be written",
+                        code="DEADLINE_EXCEEDED",
+                    ),
                 )
-            return reply_to_payload(reply)
+            with trace.span("reply"):
+                reply_payload = reply_to_payload(reply)
+            return _finish_reply(service, trace, started, reply_payload)
         except ServiceError as exc:
-            return _error_from_exception(exc)
+            return _finish_reply(service, trace, started, _error_from_exception(exc))
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001
             # Answer tasks are awaited by the writer loop; an escaping
             # exception would kill the whole connection instead of the one
             # request that triggered it.
-            return _error_payload(f"internal error: {exc}", code="INTERNAL")
+            return _finish_reply(
+                service,
+                trace,
+                started,
+                _error_payload(f"internal error: {exc}", code="INTERNAL"),
+            )
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         # One task per request line keeps pipelined requests of the same
@@ -734,9 +849,14 @@ async def serve_tcp(
                     await slots.acquire()
                     oversize: asyncio.Future = loop.create_future()
                     oversize.set_result(
-                        _error_payload(
-                            f"request line exceeds {max_line_bytes} bytes",
-                            code="PAYLOAD_TOO_LARGE",
+                        _finish_reply(
+                            service,
+                            Trace(),
+                            time.monotonic(),
+                            _error_payload(
+                                f"request line exceeds {max_line_bytes} bytes",
+                                code="PAYLOAD_TOO_LARGE",
+                            ),
                         )
                     )
                     pending.put_nowait(oversize)
@@ -818,12 +938,14 @@ def build_service(
     if seed is not None:
         config = dataclasses.replace(config, seed=seed)
     injector = fault_injector if fault_injector is not None else injector_from_env()
+    metrics = MetricsRegistry()
     resilient = ResilientBackend(
         primary=backend,
         breaker=CircuitBreaker(
             failure_threshold=breaker_threshold, cooldown=breaker_cooldown
         ),
         injector=injector,
+        metrics=metrics,
     )
     dataset = build_default_dataset(noise_sigma=config.noise_sigma, seed=config.seed)
     cache = SplitContextCache(
@@ -837,6 +959,7 @@ def build_service(
         standard_methods(config, backend=resilient),
         cache=cache,
         fault_injector=injector,
+        metrics=metrics,
     )
     service.resilient_backend = resilient
     return service
@@ -914,6 +1037,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="seconds to wait for in-flight batches on shutdown (default 10)",
     )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        help="seconds between periodic metrics snapshot lines on stderr (0 = off)",
+    )
     return parser
 
 
@@ -943,7 +1072,11 @@ def main(argv: list[str] | None = None) -> int:
             )
         except ValueError:  # pragma: no cover - non-main thread (embedding)
             pass
-        serve_stdio(service, max_line_bytes=args.max_line_bytes)
+        serve_stdio(
+            service,
+            max_line_bytes=args.max_line_bytes,
+            metrics_interval=args.metrics_interval,
+        )
         return 0
 
     host, _, port_text = args.tcp.rpartition(":")
@@ -976,12 +1109,26 @@ def main(argv: list[str] | None = None) -> int:
             f"{sock.getsockname()[0]}:{sock.getsockname()[1]}" for sock in server.sockets
         )
         print(f"repro-serve listening on {addresses}", file=sys.stderr)
-        async with server:
-            await stop.wait()
-            print("repro-serve draining...", file=sys.stderr)
-            server.close()
-            await server.wait_closed()
-            await batcher.drain(timeout=args.drain_grace)
+        snapshot_task: asyncio.Task | None = None
+        if args.metrics_interval > 0:
+            snapshot_log = PeriodicSnapshot(service.metrics, args.metrics_interval)
+
+            async def emit_snapshots() -> None:
+                while True:
+                    await asyncio.sleep(args.metrics_interval)
+                    snapshot_log.emit()
+
+            snapshot_task = asyncio.create_task(emit_snapshots())
+        try:
+            async with server:
+                await stop.wait()
+                print("repro-serve draining...", file=sys.stderr)
+                server.close()
+                await server.wait_closed()
+                await batcher.drain(timeout=args.drain_grace)
+        finally:
+            if snapshot_task is not None:
+                snapshot_task.cancel()
 
     try:
         asyncio.run(run())

@@ -421,3 +421,148 @@ def test_tcp_client_reconnects_after_connection_drop(service, dataset):
 
     reply = asyncio.run(asyncio.wait_for(run(), timeout=30))
     assert reply["ok"] is True and drops["remaining"] == 0
+
+
+# -------------------------------------------------------- stats & metrics ops
+def test_stats_op_and_legacy_alias_return_identical_payloads(service, dataset):
+    """``{"op": "stats"}`` and the legacy ``{"stats": true}`` are one verb."""
+    client = InProcessClient(service)
+    client.request(
+        {"application": "mcf", "predictive_machines": dataset.machine_ids[:4]}
+    )
+    via_op = client.request({"op": "stats"})
+    via_alias = client.request({"stats": True})
+    assert via_op == via_alias
+    assert via_op["ok"] is True and via_op["stats"]["methods"]
+
+
+def test_stats_shard_counters_match_cache_shard_stats(service, dataset):
+    """The wire payload's shards block is exactly ``cache.shard_stats()``."""
+    client = InProcessClient(service)
+    client.request(
+        {"application": "mcf", "predictive_machines": dataset.machine_ids[:4]}
+    )
+    shards = client.request({"op": "stats"})["stats"]["shards"]
+    direct = service.cache.shard_stats()
+    assert len(shards) == len(direct)
+    for wire, stats in zip(shards, direct):
+        assert wire["hits"] == stats.hits
+        assert wire["misses"] == stats.misses
+        assert wire["evictions"] == stats.evictions
+        assert wire["expirations"] == stats.expirations
+        assert wire["entries"] == stats.entries
+
+
+def test_stats_hit_rate_arithmetic_from_a_fresh_service(dataset):
+    """One miss then one hit: hits=1, misses=1, hit_rate=0.5 exactly.
+
+    Built directly (not via ``build_service``) so an active ``REPRO_FAULTS``
+    spec in the chaos leg cannot evict the entry between the two requests.
+    """
+    fresh = PredictionService(dataset, {"NN^T": BatchedLinearTransposition()})
+    client = InProcessClient(fresh)
+    machines = list(dataset.machine_ids[:4])
+    request = {"application": "gcc", "predictive_machines": machines}
+    assert client.request(request)["cache_hit"] is False
+    assert client.request(request)["cache_hit"] is True
+    stats = client.request({"op": "stats"})["stats"]
+    assert (stats["hits"], stats["misses"], stats["hit_rate"]) == (1, 1, 0.5)
+
+
+def test_metrics_op_exposes_counters_and_percentiles(service, dataset):
+    """The metrics verb reports request counters and latency histograms."""
+    client = InProcessClient(service)
+    before = client.request({"op": "metrics"})["metrics"]
+    client.request(
+        {"application": "lbm", "predictive_machines": dataset.machine_ids[:4]}
+    )
+    client.request({"application": "lbm"})  # INVALID_REQUEST: counted as error
+    after = client.request({"op": "metrics"})
+    assert after["ok"] is True
+    metrics = after["metrics"]
+    counters = metrics["counters"]
+    assert counters["server.requests"] == before["counters"].get("server.requests", 0) + 2
+    assert counters["server.errors"] >= 1
+    assert counters["server.error.INVALID_REQUEST"] >= 1
+    latency = metrics["histograms"]["server.request_ms"]
+    assert latency["count"] == counters["server.requests"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+    assert metrics["cache"]["capacity"] == service.cache.capacity
+    assert json.loads(json.dumps(metrics)) == metrics
+
+
+def test_metrics_op_is_not_counted_as_server_load(service):
+    """Monitoring traffic must not perturb the load counters it reports."""
+    client = InProcessClient(service)
+    first = client.request({"op": "metrics"})["metrics"]["counters"]
+    second = client.request({"op": "metrics"})["metrics"]["counters"]
+    assert second.get("server.requests", 0) == first.get("server.requests", 0)
+
+
+def test_unknown_op_lists_the_full_verb_catalogue(service):
+    reply = InProcessClient(service).request({"op": "bogus"})
+    assert reply["ok"] is False and reply["code"] == "INVALID_REQUEST"
+    assert "health, metrics, ready, stats" in reply["error"]
+
+
+# ----------------------------------------------------------------- trace echo
+def test_ranking_replies_echo_a_trace_with_stage_spans(service, dataset):
+    client = InProcessClient(service)
+    reply = client.request(
+        {"application": "milc", "predictive_machines": dataset.machine_ids[:4]}
+    )
+    trace = reply["trace"]
+    assert trace["id"]
+    stages = [span["stage"] for span in trace["spans"]]
+    assert "admission" in stages and "engine" in stages and "reply" in stages
+    assert all(span["ms"] >= 0 for span in trace["spans"])
+
+
+def test_client_supplied_trace_id_is_echoed_back(service, dataset):
+    client = InProcessClient(service)
+    reply = client.request(
+        {
+            "application": "milc",
+            "predictive_machines": dataset.machine_ids[:4],
+            "trace_id": "caller-7",
+        }
+    )
+    assert reply["trace"]["id"] == "caller-7"
+    # Error replies carry a trace too (fresh id when the caller sent none).
+    error = client.request({"application": "milc"})
+    assert error["ok"] is False and error["trace"]["id"]
+
+
+def test_tcp_replies_carry_queue_and_batch_spans(service, dataset):
+    """Requests through the micro-batcher record the queue/batch stages."""
+    machines = dataset.machine_ids[:4]
+
+    async def run():
+        server = await serve_tcp(service, "127.0.0.1", 0, window=0.001)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(
+            (
+                json.dumps(
+                    {
+                        "application": "gcc",
+                        "predictive_machines": machines,
+                        "trace_id": "tcp-1",
+                    }
+                )
+                + "\n"
+            ).encode()
+        )
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        writer.close()
+        await writer.wait_closed()
+        server.close()
+        await server.wait_closed()
+        return reply
+
+    reply = asyncio.run(asyncio.wait_for(run(), timeout=30))
+    assert reply["ok"] is True and reply["trace"]["id"] == "tcp-1"
+    stages = [span["stage"] for span in reply["trace"]["spans"]]
+    for stage in ("admission", "queue", "batch", "engine", "reply"):
+        assert stage in stages, stages
